@@ -1,0 +1,174 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "baselines/dynamic_update.h"
+#include "baselines/time_forward.h"
+#include "core/greedy.h"
+#include "core/one_k_swap.h"
+#include "core/two_k_swap.h"
+#include "core/upper_bound.h"
+#include "graph/graph_io.h"
+#include "util/timer.h"
+
+namespace semis {
+namespace bench {
+
+Status RunSuite(const DatasetSpec& spec, const SuiteSelection& selection,
+                SuiteResult* out) {
+  SuiteResult res;
+  SEMIS_RETURN_IF_ERROR(MaterializeDataset(
+      spec, GlobalScaleFromEnv(), DefaultDatasetCacheDir(), &res.files));
+
+  if (selection.dynamic_update && !spec.in_memory_na) {
+    Graph g;
+    SEMIS_RETURN_IF_ERROR(
+        ReadGraphFromAdjacencyFile(res.files.adjacency_path, &g));
+    SEMIS_RETURN_IF_ERROR(RunDynamicUpdate(g, &res.dynamic_update));
+    res.ran_dynamic_update = true;
+  }
+  if (selection.stxxl) {
+    SEMIS_RETURN_IF_ERROR(
+        RunTimeForwardMIS(res.files.adjacency_path, {}, &res.stxxl));
+  }
+  if (selection.baseline_chain) {
+    SEMIS_RETURN_IF_ERROR(
+        RunGreedy(res.files.adjacency_path, {}, &res.baseline));
+    OneKSwapOptions one_opts;
+    one_opts.max_rounds = selection.max_swap_rounds;
+    SEMIS_RETURN_IF_ERROR(RunOneKSwap(res.files.adjacency_path,
+                                      res.baseline.in_set, one_opts,
+                                      &res.one_k_baseline));
+    TwoKSwapOptions two_opts;
+    two_opts.max_rounds = selection.max_swap_rounds;
+    SEMIS_RETURN_IF_ERROR(RunTwoKSwap(res.files.adjacency_path,
+                                      res.baseline.in_set, two_opts,
+                                      &res.two_k_baseline));
+  }
+  if (selection.greedy_chain) {
+    SEMIS_RETURN_IF_ERROR(RunGreedy(res.files.sorted_path, {}, &res.greedy));
+    OneKSwapOptions one_opts;
+    one_opts.max_rounds = selection.max_swap_rounds;
+    SEMIS_RETURN_IF_ERROR(RunOneKSwap(res.files.sorted_path,
+                                      res.greedy.in_set, one_opts,
+                                      &res.one_k_greedy));
+    TwoKSwapOptions two_opts;
+    two_opts.max_rounds = selection.max_swap_rounds;
+    SEMIS_RETURN_IF_ERROR(RunTwoKSwap(res.files.sorted_path,
+                                      res.greedy.in_set, two_opts,
+                                      &res.two_k_greedy));
+  }
+  if (selection.upper_bound) {
+    SEMIS_RETURN_IF_ERROR(ComputeIndependenceUpperBoundFile(
+        res.files.sorted_path, &res.upper_bound));
+  }
+  *out = res;
+  return Status::OK();
+}
+
+uint64_t SweepVertexCount() {
+  const char* env = std::getenv("SEMIS_BETA_VERTICES");
+  if (env == nullptr) return 200000;
+  long long v = std::atoll(env);
+  if (v < 1000) v = 1000;
+  return static_cast<uint64_t>(v);
+}
+
+int SweepRepetitions() {
+  // The paper averages 10 random graphs per beta; one 200k-vertex graph
+  // is already smooth, so the default keeps the suite fast. Raise
+  // SEMIS_SWEEP_REPS (and SEMIS_BETA_VERTICES) to approach paper fidelity.
+  const char* env = std::getenv("SEMIS_SWEEP_REPS");
+  if (env == nullptr) return 1;
+  int v = std::atoi(env);
+  return v < 1 ? 1 : v;
+}
+
+Status WriteDegreeSortedFileInMemoryOrder(const Graph& g,
+                                          const std::string& path) {
+  std::vector<VertexId> order(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g.Degree(a) < g.Degree(b);
+  });
+  return WriteGraphToAdjacencyFileInOrder(g, order, kAdjFlagDegreeSorted,
+                                          path);
+}
+
+std::vector<double> SweepBetas() {
+  std::vector<double> betas;
+  for (int i = 0; i <= 10; ++i) betas.push_back(1.7 + 0.1 * i);
+  return betas;
+}
+
+std::string WithCommas(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    count++;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", seconds * 1000.0);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<int> widths)
+    : widths_(std::move(widths)) {}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  std::string line;
+  for (size_t i = 0; i < widths_.size(); ++i) {
+    const std::string cell = i < cells.size() ? cells[i] : "";
+    const int w = widths_[i];
+    if (i == 0) {
+      line += cell;
+      if (static_cast<int>(cell.size()) < w) {
+        line += std::string(w - cell.size(), ' ');
+      }
+    } else {
+      if (static_cast<int>(cell.size()) < w) {
+        line += std::string(w - cell.size(), ' ');
+      }
+      line += cell;
+    }
+    line += "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void TablePrinter::PrintRule() const {
+  size_t total = 0;
+  for (int w : widths_) total += static_cast<size_t>(w) + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+}
+
+void PrintBanner(const std::string& artifact, const std::string& detail) {
+  std::printf("================================================================\n");
+  std::printf("semis reproduction | %s\n", artifact.c_str());
+  std::printf("%s\n", detail.c_str());
+  std::printf("scale: SEMIS_SCALE=%.3g  (datasets are synthetic PLRG\n",
+              GlobalScaleFromEnv());
+  std::printf("stand-ins, scaled down from the paper's sizes; see DESIGN.md)\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace semis

@@ -1,0 +1,94 @@
+// Copyright (c) the semis authors.
+// Shared plumbing for the paper-reproduction bench binaries: dataset
+// loading via the stand-in registry, the six-algorithm suite of Table 5,
+// and fixed-width table printing.
+#ifndef SEMIS_BENCH_BENCH_COMMON_H_
+#define SEMIS_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mis_common.h"
+#include "gen/datasets.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "util/status.h"
+
+namespace semis {
+namespace bench {
+
+/// Results of every paper algorithm on one dataset.
+struct SuiteResult {
+  DatasetFiles files;
+  bool ran_dynamic_update = false;
+  AlgoResult dynamic_update;   // DYNAMICUPDATE (in-memory) when feasible
+  AlgoResult stxxl;            // time-forward external baseline ("STXXL")
+  AlgoResult baseline;         // Algorithm 1 on the id-ordered file
+  AlgoResult one_k_baseline;   // one-k-swap after BASELINE
+  AlgoResult two_k_baseline;   // two-k-swap after BASELINE
+  AlgoResult greedy;           // Algorithm 1 on the degree-sorted file
+  AlgoResult one_k_greedy;     // one-k-swap after GREEDY
+  AlgoResult two_k_greedy;     // two-k-swap after GREEDY
+  uint64_t upper_bound = 0;    // Algorithm 5 on the degree-sorted file
+  double greedy_sort_seconds = 0.0;  // preprocessing time charged to GREEDY
+};
+
+/// Which parts of the suite to execute (the big tables need all of it;
+/// focused benches can skip stages).
+struct SuiteSelection {
+  bool dynamic_update = true;
+  bool stxxl = true;
+  bool baseline_chain = true;  // baseline + swaps after baseline
+  bool greedy_chain = true;    // greedy + swaps after greedy
+  bool upper_bound = true;
+  uint32_t max_swap_rounds = 0;  // 0 = converge
+};
+
+/// Materializes `spec` (cached) and runs the selected algorithms.
+Status RunSuite(const DatasetSpec& spec, const SuiteSelection& selection,
+                SuiteResult* out);
+
+/// Number of vertices for the beta-sweep benches:
+/// SEMIS_BETA_VERTICES (default 200000).
+uint64_t SweepVertexCount();
+
+/// Repetitions for averaging in the sweep benches:
+/// SEMIS_SWEEP_REPS (default 3; the paper uses 10).
+int SweepRepetitions();
+
+/// The 11 beta values of the paper's sweeps (1.7 .. 2.7 step 0.1).
+std::vector<double> SweepBetas();
+
+/// Writes `g` as a degree-sorted adjacency file using an in-memory sort of
+/// the record order (sweep benches only; the dataset pipeline uses the
+/// real external sort).
+Status WriteDegreeSortedFileInMemoryOrder(const Graph& g,
+                                          const std::string& path);
+
+/// Formats an integer with thousands separators ("2,151,578").
+std::string WithCommas(uint64_t value);
+
+/// Formats a duration like the paper's Table 6 ("57ms", "6.2s", "1.65h").
+std::string FormatSeconds(double seconds);
+
+/// Simple fixed-width table printer.
+class TablePrinter {
+ public:
+  /// `widths[i]` = column width; column 0 is left-aligned, the rest right.
+  explicit TablePrinter(std::vector<int> widths);
+  void PrintRow(const std::vector<std::string>& cells) const;
+  void PrintRule() const;
+
+ private:
+  std::vector<int> widths_;
+};
+
+/// Prints the standard bench banner: which paper artifact this binary
+/// regenerates and the scale knobs in effect.
+void PrintBanner(const std::string& artifact, const std::string& detail);
+
+}  // namespace bench
+}  // namespace semis
+
+#endif  // SEMIS_BENCH_BENCH_COMMON_H_

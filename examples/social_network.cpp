@@ -1,0 +1,82 @@
+// Social-network analysis (paper Section 1): select a maximum set of
+// mutually non-adjacent users -- e.g. an interference-free control group
+// for an A/B experiment, where no two selected users are friends (so no
+// treatment effect leaks across the friendship edge).
+//
+// The example compares every algorithm of the paper's Table 5 on one
+// synthetic social graph and prints the quality/memory trade-off.
+#include <cstdio>
+
+#include "baselines/dynamic_update.h"
+#include "baselines/time_forward.h"
+#include "core/greedy.h"
+#include "core/one_k_swap.h"
+#include "core/two_k_swap.h"
+#include "core/upper_bound.h"
+#include "gen/plrg.h"
+#include "graph/degree_sort.h"
+#include "graph/graph_io.h"
+#include "io/scratch.h"
+#include "util/memory_tracker.h"
+
+int main() {
+  using namespace semis;
+  // A 200k-user social graph with the usual heavy-tailed friend counts.
+  Graph graph =
+      GeneratePlrg(PlrgSpec::ForVerticesAndAvgDegree(200000, 8.0), 2024);
+  std::printf("social graph: %u users, %llu friendships\n",
+              graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  ScratchDir scratch;
+  Status s = ScratchDir::Create("semis-social", &scratch);
+  if (!s.ok()) return 1;
+  std::string unsorted = scratch.NewFilePath("graph");
+  s = WriteGraphToAdjacencyFile(graph, unsorted);
+  if (!s.ok()) return 1;
+  std::string sorted = scratch.NewFilePath("sorted");
+  s = BuildDegreeSortedAdjacencyFile(unsorted, sorted, {});
+  if (!s.ok()) return 1;
+
+  uint64_t bound = 0;
+  (void)ComputeIndependenceUpperBoundFile(sorted, &bound);
+  std::printf("upper bound on any control group: %llu users\n\n",
+              static_cast<unsigned long long>(bound));
+
+  auto report = [&](const char* name, const AlgoResult& r) {
+    std::printf("%-22s %9llu users  (%.2f%% of bound)  mem=%s  %.2fs\n",
+                name, static_cast<unsigned long long>(r.set_size),
+                100.0 * static_cast<double>(r.set_size) /
+                    static_cast<double>(bound),
+                MemoryTracker::FormatBytes(r.peak_memory_bytes).c_str(),
+                r.seconds);
+  };
+
+  AlgoResult dynamic;
+  if (RunDynamicUpdate(graph, &dynamic).ok()) {
+    report("dynamic-update (RAM)", dynamic);
+  }
+  AlgoResult external;
+  if (RunTimeForwardMIS(unsorted, {}, &external).ok()) {
+    report("time-forward (STXXL)", external);
+  }
+  AlgoResult baseline;
+  if (RunGreedy(unsorted, {}, &baseline).ok()) {
+    report("baseline (unsorted)", baseline);
+  }
+  AlgoResult greedy;
+  if (!RunGreedy(sorted, {}, &greedy).ok()) return 1;
+  report("greedy (sorted)", greedy);
+  AlgoResult one_k;
+  if (!RunOneKSwap(sorted, greedy.in_set, {}, &one_k).ok()) return 1;
+  report("one-k-swap", one_k);
+  AlgoResult two_k;
+  if (!RunTwoKSwap(sorted, greedy.in_set, {}, &two_k).ok()) return 1;
+  report("two-k-swap", two_k);
+
+  std::printf(
+      "\ntakeaway: the semi-external pipeline matches the in-memory\n"
+      "baseline's quality while holding only a few bytes per user in\n"
+      "RAM -- the friendship lists never leave the disk file.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "baselines/dynamic_update.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace semis {
+
+Status RunDynamicUpdate(const Graph& graph, AlgoResult* result) {
+  WallTimer timer;
+  AlgoResult res;
+  const VertexId n = graph.NumVertices();
+
+  // Bucket queue over current degrees, with lazy (stale) entries: a vertex
+  // is pushed again whenever its degree drops; stale entries are skipped
+  // on pop by re-checking the current degree. Every edge causes at most
+  // two pushes over the whole run, so time is O(|V| + |E|).
+  std::vector<uint32_t> degree(n);
+  std::vector<uint8_t> removed(n, 0);
+  const uint32_t max_degree = graph.MaxDegree();
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    buckets[degree[v]].push_back(v);
+  }
+  res.memory.Add("graph-csr", graph.MemoryBytes());
+  res.memory.Add("degree", n * sizeof(uint32_t));
+  res.memory.Add("removed", n * sizeof(uint8_t));
+
+  std::vector<VState> state(n, VState::kN);
+  res.memory.Add("state", n * sizeof(VState));
+  size_t bucket_entries = n;
+
+  // Smallest bucket index that received a push since the last pop; the
+  // scan pointer rewinds there to preserve the min-degree invariant.
+  uint32_t min_pushed = max_degree;
+  auto remove_vertex = [&](VertexId v) {
+    removed[v] = 1;
+    for (VertexId w : graph.Neighbors(v)) {
+      if (removed[w]) continue;
+      degree[w]--;
+      buckets[degree[w]].push_back(w);
+      bucket_entries++;
+      min_pushed = std::min(min_pushed, degree[w]);
+    }
+  };
+
+  uint32_t d = 0;
+  while (d <= max_degree) {
+    if (buckets[d].empty()) {
+      d++;
+      continue;
+    }
+    VertexId v = buckets[d].back();
+    buckets[d].pop_back();
+    if (removed[v] || degree[v] != d) continue;  // stale entry
+    state[v] = VState::kI;
+    min_pushed = max_degree;
+    remove_vertex(v);
+    for (VertexId u : graph.Neighbors(v)) {
+      if (!removed[u]) remove_vertex(u);
+    }
+    d = std::min(d, min_pushed);
+  }
+  res.memory.Add("buckets", bucket_entries * sizeof(VertexId));
+
+  ExtractIndependentSet(state, &res.in_set, &res.set_size);
+  res.memory.Add("result-bitset", res.in_set.MemoryBytes());
+  res.peak_memory_bytes = res.memory.PeakBytes();
+  res.seconds = timer.ElapsedSeconds();
+  *result = std::move(res);
+  return Status::OK();
+}
+
+}  // namespace semis

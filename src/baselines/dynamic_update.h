@@ -1,0 +1,26 @@
+// Copyright (c) the semis authors.
+// DYNAMICUPDATE: the classical in-memory greedy of Halldorsson and
+// Radhakrishnan [14] as used in the paper's experiments. Repeatedly picks
+// a vertex of minimum CURRENT degree, adds it to the set, removes it and
+// its neighbors, and updates the degrees of every affected vertex.
+//
+// This needs the whole graph mutable in memory -- exactly what the paper's
+// semi-external algorithms avoid -- so the bench tables show it N/A on the
+// large datasets. A bucket queue gives O(|V| + |E|) time.
+#ifndef SEMIS_BASELINES_DYNAMIC_UPDATE_H_
+#define SEMIS_BASELINES_DYNAMIC_UPDATE_H_
+
+#include "core/mis_common.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Runs the dynamic-update greedy on an in-memory graph. The reported
+/// memory includes the CSR arrays -- the algorithm cannot run without
+/// them, and that is the comparison the paper's Table 6 makes.
+Status RunDynamicUpdate(const Graph& graph, AlgoResult* result);
+
+}  // namespace semis
+
+#endif  // SEMIS_BASELINES_DYNAMIC_UPDATE_H_

@@ -1,0 +1,93 @@
+#include "baselines/exact.h"
+
+#include <bit>
+
+namespace semis {
+
+namespace {
+
+// Branch and bound over candidate bitmasks. Branching vertex: the highest-
+// degree candidate (its removal shrinks the candidate set fastest).
+class ExactSolver {
+ public:
+  explicit ExactSolver(const Graph& graph) : n_(graph.NumVertices()) {
+    adj_.resize(n_, 0);
+    for (VertexId v = 0; v < n_; ++v) {
+      for (VertexId u : graph.Neighbors(v)) {
+        adj_[v] |= (1ull << u);
+      }
+    }
+  }
+
+  void Solve(uint64_t candidates, uint64_t chosen, uint32_t chosen_count) {
+    nodes_++;
+    if (candidates == 0) {
+      if (chosen_count > best_count_) {
+        best_count_ = chosen_count;
+        best_mask_ = chosen;
+      }
+      return;
+    }
+    // Bound: even taking every candidate cannot beat the best.
+    if (chosen_count + std::popcount(candidates) <= best_count_) return;
+    // Pick the candidate with the most candidate-neighbors.
+    uint64_t rest = candidates;
+    VertexId pivot = 0;
+    int best_deg = -1;
+    while (rest != 0) {
+      VertexId v = static_cast<VertexId>(std::countr_zero(rest));
+      rest &= rest - 1;
+      int deg = std::popcount(adj_[v] & candidates);
+      if (deg > best_deg) {
+        best_deg = deg;
+        pivot = v;
+      }
+    }
+    const uint64_t bit = 1ull << pivot;
+    // Branch 1: include pivot.
+    Solve(candidates & ~(adj_[pivot] | bit), chosen | bit, chosen_count + 1);
+    // Branch 2: exclude pivot (worth trying only if pivot has candidate
+    // neighbors; otherwise including it is always at least as good).
+    if (best_deg > 0) {
+      Solve(candidates & ~bit, chosen, chosen_count);
+    }
+  }
+
+  uint32_t best_count() const { return best_count_; }
+  uint64_t best_mask() const { return best_mask_; }
+  uint64_t nodes() const { return nodes_; }
+
+ private:
+  VertexId n_;
+  std::vector<uint64_t> adj_;
+  uint32_t best_count_ = 0;
+  uint64_t best_mask_ = 0;
+  uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+Status ExactMaxIndependentSet(const Graph& graph, ExactResult* result) {
+  if (graph.NumVertices() > 64) {
+    return Status::InvalidArgument(
+        "exact solver supports at most 64 vertices");
+  }
+  ExactSolver solver(graph);
+  const uint64_t all =
+      graph.NumVertices() == 64
+          ? ~0ull
+          : ((1ull << graph.NumVertices()) - 1);
+  solver.Solve(all, 0, 0);
+  ExactResult r;
+  r.alpha = solver.best_count();
+  r.nodes_explored = solver.nodes();
+  uint64_t mask = solver.best_mask();
+  while (mask != 0) {
+    r.witness.push_back(static_cast<VertexId>(std::countr_zero(mask)));
+    mask &= mask - 1;
+  }
+  *result = r;
+  return Status::OK();
+}
+
+}  // namespace semis

@@ -1,0 +1,34 @@
+// Copyright (c) the semis authors.
+// Exact maximum independent set via branch and bound, in the spirit of the
+// exponential-time exact algorithms the paper cites (Robson [20],
+// Xiao & Nagamochi [26]). Usable only on tiny graphs (<= 64 vertices);
+// the test suite uses it as the ground-truth oracle for approximation
+// ratios and for validating the Algorithm 5 upper bound.
+#ifndef SEMIS_BASELINES_EXACT_H_
+#define SEMIS_BASELINES_EXACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Result of an exact solve.
+struct ExactResult {
+  /// The independence number alpha(G).
+  uint64_t alpha = 0;
+  /// One maximum independent set.
+  std::vector<VertexId> witness;
+  /// Search-tree nodes explored (for tests on pruning behaviour).
+  uint64_t nodes_explored = 0;
+};
+
+/// Computes alpha(G) exactly. Fails with InvalidArgument when the graph
+/// has more than 64 vertices (bitmask representation).
+Status ExactMaxIndependentSet(const Graph& graph, ExactResult* result);
+
+}  // namespace semis
+
+#endif  // SEMIS_BASELINES_EXACT_H_

@@ -1,0 +1,39 @@
+// Copyright (c) the semis authors.
+// The fully-external maximal-independent-set baseline the paper's
+// experiments label "STXXL": Zeh's deterministic time-forward processing
+// [27] (also Abello et al. [2]), re-implemented on our own external
+// priority queue instead of the STXXL library (see DESIGN.md,
+// Substitutions).
+//
+// Vertices are processed in ascending id order; when vertex v is decided,
+// it sends a "taken" message to every neighbor u > v through the external
+// priority queue keyed by u. A vertex joins the set iff it received no
+// message. I/O: O(sort(|V| + |E|)); main memory: only the queue's buffer
+// (NOT O(|V|)) -- this is what distinguishes "external" from the paper's
+// "semi-external" model.
+#ifndef SEMIS_BASELINES_TIME_FORWARD_H_
+#define SEMIS_BASELINES_TIME_FORWARD_H_
+
+#include <string>
+
+#include "core/mis_common.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Options for the time-forward baseline.
+struct TimeForwardOptions {
+  /// In-memory entry budget of the external priority queue.
+  size_t pq_memory_entries = 1u << 20;
+};
+
+/// Runs time-forward maximal IS over the adjacency file at `path`. The
+/// records must be in ascending id order (the natural, unsorted file);
+/// a degree-sorted file is rejected, since messages only flow forward.
+Status RunTimeForwardMIS(const std::string& path,
+                         const TimeForwardOptions& options,
+                         AlgoResult* result);
+
+}  // namespace semis
+
+#endif  // SEMIS_BASELINES_TIME_FORWARD_H_

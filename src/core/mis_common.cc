@@ -1,0 +1,45 @@
+#include "core/mis_common.h"
+
+namespace semis {
+
+char VStateChar(VState s) {
+  switch (s) {
+    case VState::kInitial:
+      return '0';
+    case VState::kI:
+      return 'I';
+    case VState::kN:
+      return 'N';
+    case VState::kA:
+      return 'A';
+    case VState::kP:
+      return 'P';
+    case VState::kC:
+      return 'C';
+    case VState::kR:
+      return 'R';
+  }
+  return '?';
+}
+
+void ExtractIndependentSet(const std::vector<VState>& states,
+                           BitVector* in_set, uint64_t* size) {
+  in_set->Resize(states.size());
+  uint64_t count = 0;
+  for (size_t v = 0; v < states.size(); ++v) {
+    if (states[v] == VState::kI) {
+      in_set->Set(v);
+      count++;
+    }
+  }
+  *size = count;
+}
+
+std::string StatesToString(const std::vector<VState>& states) {
+  std::string out;
+  out.reserve(states.size());
+  for (VState s : states) out.push_back(VStateChar(s));
+  return out;
+}
+
+}  // namespace semis

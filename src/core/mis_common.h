@@ -1,0 +1,83 @@
+// Copyright (c) the semis authors.
+// Shared vocabulary of the semi-external MIS algorithms: the six-state
+// vertex automaton of Table 3, per-round statistics, and the common result
+// type every algorithm produces.
+#ifndef SEMIS_CORE_MIS_COMMON_H_
+#define SEMIS_CORE_MIS_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/io_stats.h"
+#include "util/bit_vector.h"
+#include "util/common.h"
+#include "util/memory_tracker.h"
+
+namespace semis {
+
+/// Vertex states (paper Table 3). kInitial exists only during GREEDY.
+enum class VState : uint8_t {
+  kInitial = 0,  // unvisited (greedy only)
+  kI,            // I: in the independent set
+  kN,            // N: not in the independent set
+  kA,            // A: adjacent to exactly one (one-k) / at most two (two-k)
+                 //    IS vertices; a potential swap participant
+  kP,            // P: protected -- will enter the IS this round
+  kC,            // C: conflict -- lost this round's swap race
+  kR,            // R: retrograde -- will leave the IS this round
+};
+
+/// One-letter tag for logs and tests ('0' for kInitial).
+char VStateChar(VState s);
+
+/// Statistics of one while-loop round of a swap algorithm.
+struct RoundStats {
+  uint64_t one_k_swaps = 0;    // 1-2 swap skeletons fired
+  uint64_t two_k_swaps = 0;    // 2-3 swap skeletons fired (two-k only)
+  uint64_t follower_joins = 0; // vertices joining via the all-ISN-R rule
+  uint64_t zero_one_swaps = 0; // 0<->1 swaps in the post-swap phase
+  uint64_t conflicts = 0;      // A -> C transitions
+  /// P vertices denied during the swap scan because an adjacent P was
+  /// committed first (two-k only; see TwoKSwapRun::SwapScan).
+  uint64_t denied_promotions = 0;
+  uint64_t new_is_vertices = 0;   // P->I plus 0-1 additions
+  uint64_t removed_is_vertices = 0;  // R->N
+  uint64_t is_size_after = 0;  // |IS| at the end of the round
+  double seconds = 0.0;
+};
+
+/// Result of one algorithm run.
+struct AlgoResult {
+  /// Membership bit per vertex id.
+  BitVector in_set;
+  /// Number of set bits in `in_set`.
+  uint64_t set_size = 0;
+  /// Rounds executed (swap algorithms; 0 for greedy).
+  uint64_t rounds = 0;
+  /// Per-round breakdown (swap algorithms).
+  std::vector<RoundStats> round_stats;
+  /// I/O performed by this run.
+  IoStats io;
+  /// Peak logical bytes of the algorithm's in-memory structures.
+  size_t peak_memory_bytes = 0;
+  /// Wall-clock seconds.
+  double seconds = 0.0;
+  /// Two-k-swap only: the largest number of distinct vertices held in SC
+  /// structures during any pre-swap scan (Figure 10's numerator).
+  uint64_t sc_peak_vertices = 0;
+  /// Memory breakdown by category (state array, ISN, SC, ...).
+  MemoryTracker memory;
+};
+
+/// Builds the membership bit vector + count from a state array
+/// (state == kI).
+void ExtractIndependentSet(const std::vector<VState>& states,
+                           BitVector* in_set, uint64_t* size);
+
+/// Renders a state array as a string of one-letter tags (tests).
+std::string StatesToString(const std::vector<VState>& states);
+
+}  // namespace semis
+
+#endif  // SEMIS_CORE_MIS_COMMON_H_

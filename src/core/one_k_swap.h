@@ -1,0 +1,70 @@
+// Copyright (c) the semis authors.
+// Algorithm 2: the ONE-K-SWAP algorithm. Starting from a maximal
+// independent set, it repeatedly performs 1<->k swaps (k >= 2): one IS
+// vertex leaves, two or more non-IS vertices enter -- driven purely by
+// sequential scans of the adjacency file and O(|V|) state in memory.
+//
+// Per round (three passes, matching the paper's "three iterations"):
+//   pre-swap  (file scan)  : detect 1-2 swap skeletons, resolve swap
+//                            conflicts by scan order (first candidate
+//                            wins; later candidates that see a P neighbor
+//                            become C), and let additional vertices join a
+//                            swap whose IS vertex is already R;
+//   swap      (state pass) : P -> I, R -> N;
+//   post-swap (file scan)  : 0<->1 swaps for N vertices whose whole
+//                            neighborhood is C/N, then re-label A vertices
+//                            (exactly one IS neighbor) for the next round.
+//
+// Skeleton detection uses the paper's Section 5.4 trick: ISN slots of IS
+// vertices are unused, so they store |ISN^-1(w)| -- the number of A
+// vertices currently pointing at w. A vertex u with x conflicting
+// neighbors has a non-adjacent swap partner iff |ISN^-1(w)| >= x + 2,
+// which makes the skeleton test O(deg(u)) with zero extra memory.
+#ifndef SEMIS_CORE_ONE_K_SWAP_H_
+#define SEMIS_CORE_ONE_K_SWAP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/mis_common.h"
+#include "util/bit_vector.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Callback invoked after each phase of a swap algorithm with the full
+/// state array. Phases: "init", "pre-swap", "swap", "post-swap",
+/// "completion". Intended for tests (state-machine legality checks) and
+/// debugging; adds no cost when empty.
+using PhaseObserver = std::function<void(
+    const char* phase, uint64_t round, const std::vector<VState>& states)>;
+
+/// Options for ONE-K-SWAP.
+struct OneKSwapOptions {
+  /// Stop after this many rounds even if more swaps remain (the paper's
+  /// early-stop experiment, Table 8). 0 = run until convergence.
+  uint32_t max_rounds = 0;
+  /// Use the ISN^-1 counting trick (paper Section 5.4). Turning it off
+  /// switches to an explicit inverse-ISN index: same results, extra
+  /// memory, slower -- kept as an ablation.
+  bool use_counting_trick = true;
+  /// Run a final completion scan that adds any vertex with no IS neighbor
+  /// (guarantees maximality even in the corner case where a vertex's last
+  /// IS neighbor left while all its other neighbors were A; see the
+  /// implementation note in one_k_swap.cc).
+  bool final_maximality_pass = true;
+  /// Optional per-phase state snapshot hook (tests/debugging).
+  PhaseObserver observer;
+};
+
+/// Runs ONE-K-SWAP on the adjacency file at `path`, starting from
+/// `initial_set` (must be an independent set over the same graph; pass the
+/// greedy result). File order is free; the paper uses the degree-sorted
+/// file and so do the benches.
+Status RunOneKSwap(const std::string& path, const BitVector& initial_set,
+                   const OneKSwapOptions& options, AlgoResult* result);
+
+}  // namespace semis
+
+#endif  // SEMIS_CORE_ONE_K_SWAP_H_

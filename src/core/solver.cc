@@ -1,0 +1,94 @@
+#include "core/solver.h"
+
+#include <algorithm>
+
+#include "core/greedy.h"
+#include "core/one_k_swap.h"
+#include "core/two_k_swap.h"
+#include "core/verify.h"
+#include "graph/adjacency_file.h"
+#include "graph/degree_sort.h"
+#include "graph/graph_io.h"
+#include "io/scratch.h"
+#include "util/timer.h"
+
+namespace semis {
+
+Status Solver::SolveFile(const std::string& adjacency_path,
+                         SolveResult* result) {
+  WallTimer timer;
+  SolveResult res;
+  ScratchDir scratch;
+  std::string work_path = adjacency_path;
+
+  if (options_.degree_sort) {
+    AdjacencyFileScanner probe(nullptr);
+    SEMIS_RETURN_IF_ERROR(probe.Open(adjacency_path));
+    if (!probe.header().IsDegreeSorted()) {
+      WallTimer sort_timer;
+      std::string dir = options_.scratch_dir;
+      if (dir.empty()) {
+        SEMIS_RETURN_IF_ERROR(ScratchDir::Create("semis-solver", &scratch));
+        dir = scratch.path();
+      }
+      work_path = dir + "/sorted.sadj";
+      DegreeSortOptions sort_opts;
+      sort_opts.memory_budget_bytes = options_.sort_memory_budget_bytes;
+      sort_opts.fan_in = options_.sort_fan_in;
+      sort_opts.stats = &res.io;
+      SEMIS_RETURN_IF_ERROR(BuildDegreeSortedAdjacencyFile(
+          adjacency_path, work_path, sort_opts));
+      res.sort_seconds = sort_timer.ElapsedSeconds();
+    }
+  }
+
+  GreedyOptions greedy_opts;
+  SEMIS_RETURN_IF_ERROR(RunGreedy(work_path, greedy_opts, &res.greedy));
+
+  const AlgoResult* final_stage = &res.greedy;
+  if (options_.swap == SwapMode::kOneK) {
+    OneKSwapOptions swap_opts;
+    swap_opts.max_rounds = options_.max_swap_rounds;
+    SEMIS_RETURN_IF_ERROR(
+        RunOneKSwap(work_path, res.greedy.in_set, swap_opts, &res.swap));
+    final_stage = &res.swap;
+  } else if (options_.swap == SwapMode::kTwoK) {
+    TwoKSwapOptions swap_opts;
+    swap_opts.max_rounds = options_.max_swap_rounds;
+    SEMIS_RETURN_IF_ERROR(
+        RunTwoKSwap(work_path, res.greedy.in_set, swap_opts, &res.swap));
+    final_stage = &res.swap;
+  }
+
+  res.set = final_stage->in_set;
+  res.set_size = final_stage->set_size;
+  res.io.MergeFrom(res.greedy.io);
+  res.io.MergeFrom(res.swap.io);
+  res.peak_memory_bytes = std::max(res.greedy.peak_memory_bytes,
+                                   res.swap.peak_memory_bytes);
+
+  if (options_.verify) {
+    VerifyResult vr;
+    SEMIS_RETURN_IF_ERROR(VerifyIndependentSetFile(work_path, res.set, &vr));
+    if (!vr.independent) {
+      return Status::Corruption("solver produced a non-independent set");
+    }
+    if (!vr.maximal) {
+      return Status::Corruption("solver produced a non-maximal set");
+    }
+  }
+
+  res.seconds = timer.ElapsedSeconds();
+  *result = std::move(res);
+  return Status::OK();
+}
+
+Status Solver::SolveGraph(const Graph& graph, SolveResult* result) {
+  ScratchDir scratch;
+  SEMIS_RETURN_IF_ERROR(ScratchDir::Create("semis-solveg", &scratch));
+  std::string path = scratch.NewFilePath("graph.adj");
+  SEMIS_RETURN_IF_ERROR(WriteGraphToAdjacencyFile(graph, path));
+  return SolveFile(path, result);
+}
+
+}  // namespace semis

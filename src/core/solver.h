@@ -1,0 +1,90 @@
+// Copyright (c) the semis authors.
+// End-to-end pipeline: this is the public entry point a downstream user
+// calls. It wires the paper's stages together:
+//   [optional] degree-sort preprocessing  (Section 4.1)
+//   greedy / baseline initial set         (Algorithm 1)
+//   [optional] one-k-swap or two-k-swap   (Algorithms 2-4)
+//   [optional] streaming verification
+#ifndef SEMIS_CORE_SOLVER_H_
+#define SEMIS_CORE_SOLVER_H_
+
+#include <string>
+
+#include "core/mis_common.h"
+#include "graph/graph.h"
+#include "util/bit_vector.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Which swap stage to run after the initial greedy scan.
+enum class SwapMode {
+  kNone,  // greedy / baseline only
+  kOneK,  // Algorithm 2
+  kTwoK,  // Algorithms 3-4
+};
+
+/// Configuration of a Solver.
+struct SolverOptions {
+  /// Degree-sort the input before the greedy scan (paper GREEDY). When
+  /// false the file is consumed as-is (paper BASELINE).
+  bool degree_sort = true;
+  /// Swap stage.
+  SwapMode swap = SwapMode::kTwoK;
+  /// Early-stop cap on swap rounds (0 = converge; Table 8 uses 1..3).
+  uint32_t max_swap_rounds = 0;
+  /// Memory budget of the preprocessing sort (the paper's M).
+  size_t sort_memory_budget_bytes = 64ull << 20;
+  /// Merge fan-in of the preprocessing sort.
+  size_t sort_fan_in = 16;
+  /// Directory for the sorted intermediate file ("" = private temp dir).
+  std::string scratch_dir;
+  /// Re-scan the graph at the end and fail on a non-independent or
+  /// non-maximal result (paranoid mode).
+  bool verify = false;
+};
+
+/// Everything a Solve call produced.
+struct SolveResult {
+  /// The independent set (bit per vertex id).
+  BitVector set;
+  /// Number of vertices in the set.
+  uint64_t set_size = 0;
+  /// Stage results (swap untouched when SwapMode::kNone).
+  AlgoResult greedy;
+  AlgoResult swap;
+  /// Seconds spent in the preprocessing sort (0 when skipped).
+  double sort_seconds = 0.0;
+  /// Aggregated I/O over all stages (sort + greedy + swaps).
+  IoStats io;
+  /// Peak logical memory over all stages.
+  size_t peak_memory_bytes = 0;
+  /// Total wall-clock seconds.
+  double seconds = 0.0;
+};
+
+/// Facade over the pipeline. Stateless between calls; safe to reuse.
+class Solver {
+ public:
+  /// Creates a solver with `options`.
+  explicit Solver(SolverOptions options) : options_(std::move(options)) {}
+
+  /// Solves the graph stored at `adjacency_path` (SADJ format; see
+  /// graph/adjacency_file.h). If `options.degree_sort` is set and the file
+  /// is not already degree-sorted, a sorted copy is produced first.
+  Status SolveFile(const std::string& adjacency_path, SolveResult* result);
+
+  /// Convenience for in-memory graphs: writes `graph` to a scratch
+  /// adjacency file and solves it semi-externally.
+  Status SolveGraph(const Graph& graph, SolveResult* result);
+
+  /// The options this solver was created with.
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_CORE_SOLVER_H_

@@ -1,0 +1,32 @@
+// Copyright (c) the semis authors.
+// Algorithm 5 (appendix): a one-scan upper bound on the independence
+// number. The scan partitions V into stars (an unvisited center plus its
+// unvisited neighbors); a star with N >= 1 leaves contributes N to the
+// bound, an isolated center contributes 1. Since any independent set can
+// take at most max(N, 1) vertices from each star of the partition, the sum
+// bounds alpha(G) from above. The paper evaluates every "performance
+// ratio" against this bound.
+#ifndef SEMIS_CORE_UPPER_BOUND_H_
+#define SEMIS_CORE_UPPER_BOUND_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Computes the Algorithm 5 bound with one sequential scan of the file.
+/// Like the paper, feed a degree-sorted file for the tightest bound.
+Status ComputeIndependenceUpperBoundFile(const std::string& adjacency_path,
+                                         uint64_t* bound,
+                                         IoStats* stats = nullptr);
+
+/// In-memory variant (scans vertices in ascending-degree order, matching
+/// what Algorithm 5 sees after the paper's preprocessing).
+uint64_t ComputeIndependenceUpperBound(const Graph& graph);
+
+}  // namespace semis
+
+#endif  // SEMIS_CORE_UPPER_BOUND_H_

@@ -1,0 +1,67 @@
+// Copyright (c) the semis authors.
+// Synthetic stand-ins for the ten real datasets of Table 4. The paper's
+// graphs come from SNAP / the WebGraph project and are unavailable
+// offline, so each dataset is replaced by a deterministic power-law
+// random graph with the same vertex count and average degree, scaled down
+// by a per-dataset factor so the full benchmark suite runs on one core in
+// minutes (see DESIGN.md, "Substitutions"). Set SEMIS_SCALE to multiply
+// every scale factor (e.g. SEMIS_SCALE=10 approaches paper sizes).
+#ifndef SEMIS_GEN_DATASETS_H_
+#define SEMIS_GEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Description of one Table 4 dataset and its stand-in parameters.
+struct DatasetSpec {
+  std::string name;           // paper name, lower case
+  uint64_t paper_vertices;    // |V| in Table 4
+  uint64_t paper_edges;       // |E| in Table 4
+  double paper_avg_degree;    // Table 4
+  const char* paper_disk;     // disk size string from Table 4
+  double default_scale;       // fraction of paper |V| materialized
+  uint64_t seed;              // generator seed
+  /// True for datasets the paper marks N/A for the in-memory baseline
+  /// (too large to hold + mutate in RAM on the paper's 8 GB machine).
+  bool in_memory_na;
+};
+
+/// The ten datasets of Table 4, in paper order.
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Returns the spec by name, or nullptr.
+const DatasetSpec* FindDataset(const std::string& name);
+
+/// Paths of a materialized dataset.
+struct DatasetFiles {
+  std::string adjacency_path;  // id-ordered records (BASELINE input)
+  std::string sorted_path;     // degree-sorted records (GREEDY input)
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;      // undirected
+  double avg_degree = 0.0;
+};
+
+/// Generates (or reuses from `cache_dir`) the stand-in for `spec` at
+/// `scale * spec.default_scale` of the paper vertex count, writing both
+/// the id-ordered and the degree-sorted adjacency files.
+Status MaterializeDataset(const DatasetSpec& spec, double scale,
+                          const std::string& cache_dir, DatasetFiles* out,
+                          IoStats* stats = nullptr);
+
+/// Reads SEMIS_SCALE from the environment (default 1.0, clamped to
+/// [0.01, 1000]).
+double GlobalScaleFromEnv();
+
+/// Default cache directory for bench data: $SEMIS_DATA_DIR or
+/// <system temp>/semis-bench-cache. Created if missing.
+std::string DefaultDatasetCacheDir();
+
+}  // namespace semis
+
+#endif  // SEMIS_GEN_DATASETS_H_

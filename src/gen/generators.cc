@@ -1,0 +1,105 @@
+#include "gen/generators.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace semis {
+
+Graph GenerateErdosRenyi(VertexId n, uint64_t m, uint64_t seed) {
+  Random rng(seed);
+  uint64_t possible =
+      n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1) / 2;
+  if (m > possible) m = possible;
+  std::set<Edge> chosen;
+  while (chosen.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    chosen.insert({u, v});
+  }
+  return Graph::FromEdges(n, std::vector<Edge>(chosen.begin(), chosen.end()));
+}
+
+Graph GenerateGnp(VertexId n, double p, uint64_t seed) {
+  Random rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.OneIn(p)) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph GenerateStar(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph GeneratePath(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph GenerateCycle(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  if (n >= 3) edges.emplace_back(n - 1, 0);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph GenerateComplete(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph GenerateCompleteBipartite(VertexId a, VertexId b) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  }
+  return Graph::FromEdges(a + b, std::move(edges));
+}
+
+Graph GenerateTriangles(VertexId k) {
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < k; ++i) {
+    VertexId base = 3 * i;
+    edges.emplace_back(base, base + 1);
+    edges.emplace_back(base, base + 2);
+    edges.emplace_back(base + 1, base + 2);
+  }
+  return Graph::FromEdges(3 * k, std::move(edges));
+}
+
+Graph GenerateCascadeSwap(VertexId k) {
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < k; ++i) {
+    VertexId a = 3 * i, b = 3 * i + 1, c = 3 * i + 2;
+    edges.emplace_back(a, b);
+    edges.emplace_back(a, c);
+    if (i + 1 < k) edges.emplace_back(b, 3 * (i + 1));  // b_i - a_{i+1}
+  }
+  return Graph::FromEdges(3 * k, std::move(edges));
+}
+
+Graph GenerateCaterpillar(VertexId spine, VertexId legs) {
+  std::vector<Edge> edges;
+  VertexId next = spine;
+  for (VertexId s = 0; s < spine; ++s) {
+    if (s + 1 < spine) edges.emplace_back(s, s + 1);
+    for (VertexId l = 0; l < legs; ++l) edges.emplace_back(s, next++);
+  }
+  return Graph::FromEdges(spine * (legs + 1), std::move(edges));
+}
+
+}  // namespace semis

@@ -1,0 +1,68 @@
+#include "gen/paper_figures.h"
+
+#include "gen/generators.h"
+
+namespace semis {
+
+namespace {
+// The paper labels vertices v1, v2, ...; ids here are zero-based.
+constexpr VertexId V(int paper_label) {
+  return static_cast<VertexId>(paper_label - 1);
+}
+}  // namespace
+
+PaperExample Figure1Example() {
+  PaperExample ex;
+  ex.graph = Graph::FromEdges(5, {{V(1), V(3)}, {V(1), V(4)}, {V(1), V(5)}});
+  ex.scan_order = {V(1), V(2), V(3), V(4), V(5)};
+  ex.initial_set = {V(1), V(2)};
+  return ex;
+}
+
+PaperExample Figure2Example() {
+  PaperExample ex;
+  ex.graph = Graph::FromEdges(6, {{V(1), V(2)},
+                                  {V(1), V(3)},
+                                  {V(4), V(5)},
+                                  {V(4), V(6)},
+                                  {V(3), V(6)}});
+  // Example 1: "the access order of vertices is: v1, v4, v2, v6, v3, v5".
+  ex.scan_order = {V(1), V(4), V(2), V(6), V(3), V(5)};
+  ex.initial_set = {V(1), V(4)};
+  return ex;
+}
+
+PaperExample Figure7Example() {
+  PaperExample ex;
+  // v4, v5, v6, v8 have all their IS neighbours among {v2, v3}; v7 is
+  // adjacent to v5 and v6 (it conflicts with them) and to v1 (its initial
+  // IS neighbour). See the header comment for the narrative.
+  ex.graph = Graph::FromEdges(8, {{V(4), V(2)},
+                                  {V(4), V(3)},
+                                  {V(5), V(2)},
+                                  {V(6), V(3)},
+                                  {V(8), V(2)},
+                                  {V(8), V(3)},
+                                  {V(7), V(5)},
+                                  {V(7), V(6)},
+                                  {V(7), V(1)}});
+  ex.scan_order = {V(1), V(2), V(3), V(4), V(5), V(6), V(8), V(7)};
+  ex.initial_set = {V(1), V(2), V(3)};
+  return ex;
+}
+
+PaperExample Figure5Example() {
+  PaperExample ex;
+  ex.graph = GenerateCascadeSwap(3);
+  // GenerateCascadeSwap lays out a_i = 3i, b_i = 3i+1, c_i = 3i+2; the
+  // paper's narrative swaps the LAST triple first, which matches the
+  // cascade orientation b_i - a_{i+1}.
+  ex.scan_order.clear();
+  for (VertexId v = 0; v < ex.graph.NumVertices(); ++v) {
+    ex.scan_order.push_back(v);
+  }
+  ex.initial_set = {0, 3, 6};  // the three a_i centers
+  return ex;
+}
+
+}  // namespace semis

@@ -1,0 +1,45 @@
+// Copyright (c) the semis authors.
+// Literal encodings of the worked examples in the paper (Figures 1, 2 and
+// 7). Unit tests assert the exact behaviour the paper narrates on these
+// graphs, including scan order, which the examples depend on.
+#ifndef SEMIS_GEN_PAPER_FIGURES_H_
+#define SEMIS_GEN_PAPER_FIGURES_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace semis {
+
+/// A worked example: a graph plus the scan (file) order its narrative
+/// assumes and the paper's initial independent set. Vertex ids are the
+/// paper's labels minus one (v1 -> 0).
+struct PaperExample {
+  Graph graph;
+  /// Order in which vertex records appear in the adjacency file.
+  std::vector<VertexId> scan_order;
+  /// The independent set the example starts from.
+  std::vector<VertexId> initial_set;
+};
+
+/// Figure 1: {v1, v2} is maximal, {v2, v3, v4, v5} is maximum. Star with
+/// center v1 and leaves v3, v4, v5; v2 isolated.
+PaperExample Figure1Example();
+
+/// Figure 2 / Example 1: two 1-2 swap skeletons (v2,v3,v1) and (v5,v6,v4)
+/// that conflict through the edge v3-v6; only one may fire. Expected
+/// result: {v2, v3, v4} (with the narrated scan order).
+PaperExample Figure2Example();
+
+/// Figure 7 / Example 3: the two-k-swap example. Initial set {v1,v2,v3};
+/// the 2-3 skeleton (v4,v5,v6,v2,v3) fires, v8 joins via the all-R rule,
+/// v7 conflicts; a 2<->4 swap yields {v1, v4, v5, v6, v8}.
+PaperExample Figure7Example();
+
+/// Figure 5 narrative: 9-vertex cascade (k = 3 triples) where the swaps
+/// must cascade v7->{v8,v9}, then v4->{v5,v6}, then v1->{v2,v3}.
+PaperExample Figure5Example();
+
+}  // namespace semis
+
+#endif  // SEMIS_GEN_PAPER_FIGURES_H_

@@ -1,0 +1,134 @@
+#include "gen/plrg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace semis {
+
+namespace {
+
+// Expected count of vertices with degree x (continuous form).
+double CountAt(double alpha, double beta, uint32_t x) {
+  return std::exp(alpha - beta * std::log(static_cast<double>(x)));
+}
+
+uint32_t MaxDegreeFor(double alpha, double beta) {
+  double d = std::exp(alpha / beta);
+  if (d < 1.0) return 0;
+  if (d > 4e9) return 4000000000u;  // clamp; never realized in practice
+  return static_cast<uint32_t>(d);
+}
+
+// Total vertex count; stops early once `stop_at` is reached (the bisection
+// in ForVertexCount only needs the comparison, and early alpha probes can
+// have astronomically large max degrees).
+uint64_t VerticesFor(double alpha, double beta,
+                     uint64_t stop_at = UINT64_MAX) {
+  uint64_t total = 0;
+  uint32_t max_deg = MaxDegreeFor(alpha, beta);
+  for (uint32_t x = 1; x <= max_deg; ++x) {
+    total += static_cast<uint64_t>(std::llround(CountAt(alpha, beta, x)));
+    if (total >= stop_at) return total;
+  }
+  return total;
+}
+
+uint64_t DegreeSumFor(double alpha, double beta) {
+  uint64_t total = 0;
+  uint32_t max_deg = MaxDegreeFor(alpha, beta);
+  for (uint32_t x = 1; x <= max_deg; ++x) {
+    total += static_cast<uint64_t>(x) *
+             static_cast<uint64_t>(std::llround(CountAt(alpha, beta, x)));
+  }
+  return total;
+}
+
+}  // namespace
+
+uint32_t PlrgSpec::MaxDegree() const { return MaxDegreeFor(alpha, beta); }
+
+uint64_t PlrgSpec::TargetVertices() const { return VerticesFor(alpha, beta); }
+
+uint64_t PlrgSpec::TargetDegreeSum() const {
+  return DegreeSumFor(alpha, beta);
+}
+
+PlrgSpec PlrgSpec::ForVertexCount(uint64_t num_vertices, double beta) {
+  // VerticesFor is monotone increasing in alpha: bisect.
+  double lo = 0.0, hi = 45.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (VerticesFor(mid, beta, num_vertices) < num_vertices) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  PlrgSpec spec;
+  spec.alpha = 0.5 * (lo + hi);
+  spec.beta = beta;
+  return spec;
+}
+
+PlrgSpec PlrgSpec::ForVerticesAndAvgDegree(uint64_t num_vertices,
+                                           double avg_degree) {
+  // For fixed vertex count, the average degree decreases as beta grows.
+  double lo = 1.05, hi = 4.5;
+  auto avg_for = [&](double beta) {
+    PlrgSpec s = ForVertexCount(num_vertices, beta);
+    uint64_t v = s.TargetVertices();
+    if (v == 0) return 0.0;
+    return static_cast<double>(s.TargetDegreeSum()) / static_cast<double>(v);
+  };
+  if (avg_degree >= avg_for(lo)) return ForVertexCount(num_vertices, lo);
+  if (avg_degree <= avg_for(hi)) return ForVertexCount(num_vertices, hi);
+  for (int iter = 0; iter < 40; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (avg_for(mid) > avg_degree) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return ForVertexCount(num_vertices, 0.5 * (lo + hi));
+}
+
+Graph GeneratePlrg(const PlrgSpec& spec, uint64_t seed) {
+  Random rng(seed);
+  // Target degree for each vertex, in descending-degree construction order.
+  std::vector<uint32_t> target_degree;
+  uint32_t max_deg = spec.MaxDegree();
+  for (uint32_t x = 1; x <= max_deg; ++x) {
+    uint64_t count =
+        static_cast<uint64_t>(std::llround(
+            std::exp(spec.alpha - spec.beta * std::log(static_cast<double>(x)))));
+    for (uint64_t c = 0; c < count; ++c) target_degree.push_back(x);
+  }
+  const VertexId n = static_cast<VertexId>(target_degree.size());
+  // Random id assignment: permute which id receives which degree.
+  std::vector<VertexId> ids(n);
+  for (VertexId i = 0; i < n; ++i) ids[i] = i;
+  rng.Shuffle(ids.data(), ids.size());
+
+  // Copy multiset L: deg(v) copies of each vertex id.
+  std::vector<VertexId> copies;
+  uint64_t degree_sum = 0;
+  for (VertexId i = 0; i < n; ++i) degree_sum += target_degree[i];
+  copies.reserve(degree_sum);
+  for (VertexId i = 0; i < n; ++i) {
+    for (uint32_t c = 0; c < target_degree[i]; ++c) copies.push_back(ids[i]);
+  }
+  rng.Shuffle(copies.data(), copies.size());
+
+  std::vector<Edge> edges;
+  edges.reserve(copies.size() / 2);
+  for (size_t i = 0; i + 1 < copies.size(); i += 2) {
+    edges.emplace_back(copies[i], copies[i + 1]);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace semis

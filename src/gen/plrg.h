@@ -1,0 +1,58 @@
+// Copyright (c) the semis authors.
+// Power-Law Random graph generator P(alpha, beta) following Section 2.2 of
+// the paper (the Aiello-Chung-Lu model [3]):
+//   * the number of vertices with degree x is y, where log y = alpha -
+//     beta * log x  (Equation 1),
+//   * a multiset L holds deg(v) copies of every vertex v,
+//   * a uniformly random matching of L defines the edges.
+// Self-loops and parallel edges produced by the matching are dropped (the
+// library works on simple graphs), so realized degrees are slightly below
+// their targets for the heaviest vertices -- exactly the usual treatment.
+#ifndef SEMIS_GEN_PLRG_H_
+#define SEMIS_GEN_PLRG_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Parameters of the P(alpha, beta) model.
+struct PlrgSpec {
+  /// Log-scale of the graph (alpha in Equation 1).
+  double alpha = 10.0;
+  /// Log-log slope of the degree distribution (beta in Equation 1).
+  double beta = 2.0;
+
+  /// Largest degree with at least one expected vertex: floor(e^(alpha/beta)).
+  uint32_t MaxDegree() const;
+
+  /// Number of vertices the spec will realize: sum over x of
+  /// round(e^alpha / x^beta).
+  uint64_t TargetVertices() const;
+
+  /// Sum of target degrees (approximately 2|E| before simplification).
+  uint64_t TargetDegreeSum() const;
+
+  /// Solves alpha so that TargetVertices() is as close as possible to
+  /// `num_vertices` for the given beta.
+  static PlrgSpec ForVertexCount(uint64_t num_vertices, double beta);
+
+  /// Solves (alpha, beta) so that the graph has about `num_vertices`
+  /// vertices and average degree about `avg_degree`. Beta is found by
+  /// bisection in [1.05, 4.5]; out-of-range targets clamp to the interval
+  /// boundary.
+  static PlrgSpec ForVerticesAndAvgDegree(uint64_t num_vertices,
+                                          double avg_degree);
+};
+
+/// Samples a simple undirected graph from the spec. Vertex ids are
+/// assigned by a random permutation, so id order carries no degree
+/// information (this matters: BASELINE scans in id order and must not get
+/// the degree-sorted order for free).
+Graph GeneratePlrg(const PlrgSpec& spec, uint64_t seed);
+
+}  // namespace semis
+
+#endif  // SEMIS_GEN_PLRG_H_

@@ -1,0 +1,155 @@
+#include "graph/adjacency_file.h"
+
+namespace semis {
+
+namespace {
+constexpr uint32_t kMagic = 0x4A444153u;  // 'SADJ' little-endian
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+AdjacencyFileWriter::AdjacencyFileWriter(IoStats* stats) : writer_(stats) {}
+
+Status AdjacencyFileWriter::Open(const std::string& path,
+                                 uint64_t num_vertices,
+                                 uint64_t num_directed_edges,
+                                 uint32_t max_degree, uint32_t flags) {
+  SEMIS_RETURN_IF_ERROR(writer_.Open(path));
+  declared_vertices_ = num_vertices;
+  declared_directed_edges_ = num_directed_edges;
+  declared_max_degree_ = max_degree;
+  appended_vertices_ = 0;
+  appended_edges_ = 0;
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(kMagic));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(kVersion));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU64(num_vertices));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU64(num_directed_edges));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(flags));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(max_degree));
+  return Status::OK();
+}
+
+Status AdjacencyFileWriter::AppendVertex(VertexId id,
+                                         const VertexId* neighbors,
+                                         uint32_t degree) {
+  if (id >= declared_vertices_) {
+    return Status::InvalidArgument("vertex id " + std::to_string(id) +
+                                   " out of range");
+  }
+  if (degree > declared_max_degree_) {
+    return Status::InvalidArgument(
+        "vertex degree exceeds declared max_degree");
+  }
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(id));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(degree));
+  if (degree > 0) {
+    SEMIS_RETURN_IF_ERROR(
+        writer_.Append(neighbors, sizeof(VertexId) * degree));
+  }
+  appended_vertices_++;
+  appended_edges_ += degree;
+  return Status::OK();
+}
+
+Status AdjacencyFileWriter::Finish() {
+  if (appended_vertices_ != declared_vertices_) {
+    return Status::InvalidArgument(
+        "vertex count mismatch: declared " +
+        std::to_string(declared_vertices_) + ", appended " +
+        std::to_string(appended_vertices_));
+  }
+  if (appended_edges_ != declared_directed_edges_) {
+    return Status::InvalidArgument(
+        "edge count mismatch: declared " +
+        std::to_string(declared_directed_edges_) + ", appended " +
+        std::to_string(appended_edges_));
+  }
+  return writer_.Close();
+}
+
+AdjacencyFileScanner::AdjacencyFileScanner(IoStats* stats)
+    : stats_(stats), reader_(stats) {}
+
+Status AdjacencyFileScanner::ReadHeader() {
+  uint32_t magic = 0, version = 0;
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&magic));
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&version));
+  if (magic != kMagic) {
+    return Status::Corruption("bad magic in '" + path_ +
+                              "': not an adjacency file");
+  }
+  if (version != kVersion) {
+    return Status::NotSupported("adjacency file version " +
+                                std::to_string(version) + " not supported");
+  }
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU64(&header_.num_vertices));
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU64(&header_.num_directed_edges));
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&header_.flags));
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&header_.max_degree));
+  records_seen_ = 0;
+  edges_seen_ = 0;
+  return Status::OK();
+}
+
+Status AdjacencyFileScanner::Open(const std::string& path) {
+  path_ = path;
+  SEMIS_RETURN_IF_ERROR(reader_.Open(path));
+  if (stats_ != nullptr) stats_->sequential_scans++;
+  return ReadHeader();
+}
+
+Status AdjacencyFileScanner::Rewind() {
+  SEMIS_RETURN_IF_ERROR(reader_.Close());
+  SEMIS_RETURN_IF_ERROR(reader_.Open(path_));
+  if (stats_ != nullptr) stats_->sequential_scans++;
+  return ReadHeader();
+}
+
+Status AdjacencyFileScanner::Next(VertexRecord* rec, bool* has_next) {
+  if (records_seen_ == header_.num_vertices) {
+    if (!reader_.AtEof()) {
+      return Status::Corruption("trailing bytes after last record in '" +
+                                path_ + "'");
+    }
+    *has_next = false;
+    return Status::OK();
+  }
+  if (reader_.AtEof()) {
+    return Status::Corruption(
+        "file '" + path_ + "' truncated: expected " +
+        std::to_string(header_.num_vertices) + " records, found " +
+        std::to_string(records_seen_));
+  }
+  uint32_t id = 0, degree = 0;
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&id));
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&degree));
+  if (id >= header_.num_vertices) {
+    return Status::Corruption("record id out of range in '" + path_ + "'");
+  }
+  if (degree > header_.max_degree) {
+    return Status::Corruption("record degree exceeds header max_degree in '" +
+                              path_ + "'");
+  }
+  neighbor_buf_.resize(degree);
+  if (degree > 0) {
+    SEMIS_RETURN_IF_ERROR(
+        reader_.ReadExact(neighbor_buf_.data(), sizeof(VertexId) * degree));
+    for (VertexId nb : neighbor_buf_) {
+      if (nb >= header_.num_vertices) {
+        return Status::Corruption("neighbor id out of range in '" + path_ +
+                                  "'");
+      }
+    }
+  }
+  records_seen_++;
+  edges_seen_ += degree;
+  if (edges_seen_ > header_.num_directed_edges) {
+    return Status::Corruption("more edges than declared in '" + path_ + "'");
+  }
+  rec->id = id;
+  rec->degree = degree;
+  rec->neighbors = neighbor_buf_.data();
+  *has_next = true;
+  return Status::OK();
+}
+
+}  // namespace semis

@@ -1,0 +1,121 @@
+// Copyright (c) the semis authors.
+// The on-disk adjacency-list format ("SADJ", version 1) consumed by every
+// semi-external algorithm in this library.
+//
+// Layout (little endian):
+//   u32 magic 'SADJ'  u32 version
+//   u64 num_vertices  u64 num_directed_edges (= sum of degrees)
+//   u32 flags         u32 max_degree
+//   then one record per vertex, in FILE order (which need not be id
+//   order -- degree-sorted files permute the records):
+//     u32 id  u32 degree  u32 neighbor[degree]
+//
+// The scanner exposes records strictly in file order; there is no random
+// access, matching the paper's semi-external model.
+#ifndef SEMIS_GRAPH_ADJACENCY_FILE_H_
+#define SEMIS_GRAPH_ADJACENCY_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/file.h"
+#include "io/io_stats.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Flag: records appear in ascending order of (degree, id). Produced by
+/// the preprocessing sort (Section 4.1) and required by GREEDY for its
+/// approximation quality (BASELINE omits it).
+inline constexpr uint32_t kAdjFlagDegreeSorted = 1u << 0;
+
+/// Parsed header of an adjacency file.
+struct AdjacencyFileHeader {
+  uint64_t num_vertices = 0;
+  uint64_t num_directed_edges = 0;  // sum of degrees = 2|E|
+  uint32_t flags = 0;
+  uint32_t max_degree = 0;
+
+  /// True if the file is degree-sorted.
+  bool IsDegreeSorted() const { return (flags & kAdjFlagDegreeSorted) != 0; }
+};
+
+/// Streaming writer. Vertex totals are declared up front so the header can
+/// be written once without backwards seeks (the file stays append-only).
+class AdjacencyFileWriter {
+ public:
+  /// `stats` may be null.
+  explicit AdjacencyFileWriter(IoStats* stats = nullptr);
+
+  /// Creates `path` and writes the header.
+  Status Open(const std::string& path, uint64_t num_vertices,
+              uint64_t num_directed_edges, uint32_t max_degree,
+              uint32_t flags);
+
+  /// Appends the record for vertex `id`. Every vertex must be appended
+  /// exactly once (including degree-0 vertices).
+  Status AppendVertex(VertexId id, const VertexId* neighbors, uint32_t degree);
+
+  /// Validates the declared totals and closes the file.
+  Status Finish();
+
+ private:
+  SequentialFileWriter writer_;
+  uint64_t declared_vertices_ = 0;
+  uint64_t declared_directed_edges_ = 0;
+  uint32_t declared_max_degree_ = 0;
+  uint64_t appended_vertices_ = 0;
+  uint64_t appended_edges_ = 0;
+};
+
+/// One vertex record as exposed by the scanner. `neighbors` points into a
+/// scanner-owned buffer that is invalidated by the next call to Next().
+struct VertexRecord {
+  VertexId id = 0;
+  uint32_t degree = 0;
+  const VertexId* neighbors = nullptr;
+};
+
+/// Forward-only reader of adjacency files. Rewind() restarts a scan (and
+/// bumps IoStats::sequential_scans): this is the only iteration primitive
+/// the semi-external algorithms get.
+class AdjacencyFileScanner {
+ public:
+  /// `stats` may be null.
+  explicit AdjacencyFileScanner(IoStats* stats = nullptr);
+
+  /// Opens the file and parses/validates the header. Counts one
+  /// sequential scan.
+  Status Open(const std::string& path);
+
+  /// Header of the open file.
+  const AdjacencyFileHeader& header() const { return header_; }
+
+  /// Reads the next record. `*has_next` is false at end-of-file (in which
+  /// case `rec` is untouched). Validates ids, degrees and totals; a
+  /// truncated or inconsistent file yields Corruption.
+  Status Next(VertexRecord* rec, bool* has_next);
+
+  /// Restarts the scan from the first record. Counts a sequential scan.
+  Status Rewind();
+
+  /// Path of the open file.
+  const std::string& path() const { return path_; }
+
+ private:
+  Status ReadHeader();
+
+  IoStats* stats_;
+  SequentialFileReader reader_;
+  AdjacencyFileHeader header_;
+  std::string path_;
+  std::vector<VertexId> neighbor_buf_;
+  uint64_t records_seen_ = 0;
+  uint64_t edges_seen_ = 0;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_GRAPH_ADJACENCY_FILE_H_

@@ -1,0 +1,38 @@
+// Copyright (c) the semis authors.
+// The paper's preprocessing step (Section 4.1): reorder an adjacency file
+// so that vertex records appear in ascending (degree, id) order. GREEDY's
+// approximation quality depends on this ordering; BASELINE skips it.
+//
+// Implemented with the external run-formation/merge sorter, reproducing
+// the paper's I/O bound (|V|+|E|)/B * (log_{M/B} |V|/B + 2): one scan to
+// form runs, log_{fan_in} passes to merge, one scan to write.
+#ifndef SEMIS_GRAPH_DEGREE_SORT_H_
+#define SEMIS_GRAPH_DEGREE_SORT_H_
+
+#include <string>
+
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Tuning for the degree sort.
+struct DegreeSortOptions {
+  /// Main-memory budget of the external sorter (the paper's M).
+  size_t memory_budget_bytes = 64ull << 20;
+  /// Merge fan-in (the paper's M/B).
+  size_t fan_in = 16;
+  /// Optional I/O counters.
+  IoStats* stats = nullptr;
+};
+
+/// Reads the adjacency file at `input_path` and writes a record-permuted
+/// copy to `output_path` with records in ascending (degree, id) order and
+/// the kAdjFlagDegreeSorted header flag set.
+Status BuildDegreeSortedAdjacencyFile(const std::string& input_path,
+                                      const std::string& output_path,
+                                      const DegreeSortOptions& options);
+
+}  // namespace semis
+
+#endif  // SEMIS_GRAPH_DEGREE_SORT_H_

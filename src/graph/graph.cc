@@ -1,0 +1,54 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace semis {
+
+Graph Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges) {
+  // Normalize: drop self-loops and out-of-range endpoints, orient u < v.
+  size_t kept = 0;
+  for (const Edge& e : edges) {
+    VertexId u = e.first, v = e.second;
+    if (u == v || u >= num_vertices || v >= num_vertices) continue;
+    if (u > v) std::swap(u, v);
+    edges[kept++] = {u, v};
+  }
+  edges.resize(kept);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) {
+    g.offsets_[e.first + 1]++;
+    g.offsets_[e.second + 1]++;
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adj_.resize(edges.size() * 2);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adj_[cursor[e.first]++] = e.second;
+    g.adj_[cursor[e.second]++] = e.first;
+  }
+  // Both directions were appended in (u < v) sorted edge order, so each
+  // list is already ascending; still, enforce the invariant defensively.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    auto begin = g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]);
+    if (!std::is_sorted(begin, end)) std::sort(begin, end);
+    g.max_degree_ = std::max(
+        g.max_degree_, static_cast<uint32_t>(g.offsets_[v + 1] - g.offsets_[v]));
+  }
+  return g;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices()) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace semis

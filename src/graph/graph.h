@@ -1,0 +1,81 @@
+// Copyright (c) the semis authors.
+// In-memory CSR (compressed sparse row) representation of a simple
+// undirected graph. Used by the generators, the in-memory baselines, the
+// test oracles, and as the construction source for on-disk adjacency files.
+// The semi-external algorithms themselves never touch this class.
+#ifndef SEMIS_GRAPH_GRAPH_H_
+#define SEMIS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace semis {
+
+/// An undirected edge as an id pair. Orientation is irrelevant.
+using Edge = std::pair<VertexId, VertexId>;
+
+/// Immutable simple undirected graph in CSR form. Each undirected edge is
+/// stored in both adjacency lists; lists are sorted ascending by neighbor
+/// id and contain no duplicates or self-loops.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph on `num_vertices` vertices from an edge list.
+  /// Self-loops and duplicate edges (in either orientation) are dropped;
+  /// ids must be < num_vertices (edges violating this are dropped too).
+  static Graph FromEdges(VertexId num_vertices, std::vector<Edge> edges);
+
+  /// Number of vertices.
+  VertexId NumVertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  uint64_t NumEdges() const { return adj_.size() / 2; }
+
+  /// Sum of all degrees (= 2 * NumEdges()).
+  uint64_t NumDirectedEdges() const { return adj_.size(); }
+
+  /// Degree of vertex `v`.
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of `v`.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adj_.data() + offsets_[v],
+            adj_.data() + offsets_[v + 1]};
+  }
+
+  /// Largest degree in the graph (0 for an empty graph).
+  uint32_t MaxDegree() const { return max_degree_; }
+
+  /// O(log deg) adjacency test.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Average degree (0 for an empty graph).
+  double AverageDegree() const {
+    return NumVertices() == 0
+               ? 0.0
+               : static_cast<double>(adj_.size()) / NumVertices();
+  }
+
+  /// Heap bytes of the CSR arrays.
+  size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(uint64_t) + adj_.size() * sizeof(VertexId);
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;  // size NumVertices()+1
+  std::vector<VertexId> adj_;      // size 2*NumEdges()
+  uint32_t max_degree_ = 0;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_GRAPH_GRAPH_H_

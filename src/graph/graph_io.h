@@ -1,0 +1,67 @@
+// Copyright (c) the semis authors.
+// Conversions between graph representations:
+//   * in-memory CSR  <->  on-disk adjacency file,
+//   * SNAP-style text edge lists  ->  adjacency file (external pipeline).
+#ifndef SEMIS_GRAPH_GRAPH_IO_H_
+#define SEMIS_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/adjacency_file.h"
+#include "graph/graph.h"
+#include "io/external_sorter.h"
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Writes `graph` as an adjacency file with records in ascending id order
+/// (flags = 0: not degree-sorted).
+Status WriteGraphToAdjacencyFile(const Graph& graph, const std::string& path,
+                                 IoStats* stats = nullptr);
+
+/// Writes `graph` as an adjacency file with records in the given explicit
+/// order. `order` must be a permutation of [0, NumVertices()).
+/// `flags` is stored verbatim in the header.
+Status WriteGraphToAdjacencyFileInOrder(const Graph& graph,
+                                        const std::vector<VertexId>& order,
+                                        uint32_t flags,
+                                        const std::string& path,
+                                        IoStats* stats = nullptr);
+
+/// Loads an adjacency file fully into memory (tests / small graphs only).
+Status ReadGraphFromAdjacencyFile(const std::string& path, Graph* graph,
+                                  IoStats* stats = nullptr);
+
+/// Writes `graph` as a SNAP-style text edge list: '# comment' header lines,
+/// then one "u<TAB>v" line per undirected edge.
+Status WriteEdgeListText(const Graph& graph, const std::string& path,
+                         IoStats* stats = nullptr);
+
+/// Parses a SNAP-style text edge list into an in-memory graph. Lines
+/// starting with '#' are comments; blank lines are skipped; endpoints are
+/// whitespace separated. `num_vertices` is max id + 1.
+Status ReadEdgeListText(const std::string& path, Graph* graph,
+                        IoStats* stats = nullptr);
+
+/// Options for the external edge-list -> adjacency-file pipeline.
+struct EdgeListConvertOptions {
+  /// Sorter budget for the by-source sort of the 2|E| directed edges.
+  size_t memory_budget_bytes = 64ull << 20;
+  size_t fan_in = 16;
+  IoStats* stats = nullptr;
+};
+
+/// Builds an adjacency file from a text edge list without materializing the
+/// graph in memory: pass 1 computes per-vertex degrees (O(|V|) memory,
+/// legal under the semi-external model), pass 2 external-sorts directed
+/// edges by source and streams adjacency records out. Duplicate edges and
+/// self-loops in the input are removed.
+Status ConvertEdgeListToAdjacencyFile(const std::string& edge_list_path,
+                                      const std::string& adjacency_path,
+                                      const EdgeListConvertOptions& options);
+
+}  // namespace semis
+
+#endif  // SEMIS_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,47 @@
+// Copyright (c) the semis authors.
+// Descriptive statistics of a graph: degree distribution, averages, and a
+// log-log least-squares fit of the power-law exponent beta (Equation 1 of
+// the paper: log y = alpha - beta log x).
+#ifndef SEMIS_GRAPH_GRAPH_STATS_H_
+#define SEMIS_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Summary statistics of one graph.
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;  // undirected
+  uint32_t min_degree = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  uint64_t isolated_vertices = 0;
+  /// histogram[d] = number of vertices of degree d (size max_degree + 1).
+  std::vector<uint64_t> degree_histogram;
+
+  /// Least-squares estimate of the power-law exponent beta from the
+  /// degree histogram (log y = alpha - beta log x). Returns 0 when the
+  /// histogram has fewer than two populated degrees.
+  double EstimateBeta() const;
+  /// Companion estimate of alpha (log scale of the graph).
+  double EstimateAlpha() const;
+};
+
+/// Computes statistics for an in-memory graph.
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// Computes statistics by a single sequential scan of an adjacency file
+/// (semi-external: O(max_degree) extra memory).
+Status ComputeGraphStatsFromFile(const std::string& path, GraphStats* stats,
+                                 IoStats* io_stats = nullptr);
+
+}  // namespace semis
+
+#endif  // SEMIS_GRAPH_GRAPH_STATS_H_

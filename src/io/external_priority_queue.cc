@@ -1,0 +1,134 @@
+#include "io/external_priority_queue.h"
+
+#include <algorithm>
+
+namespace semis {
+
+struct ExternalPriorityQueue::RunCursor {
+  explicit RunCursor(IoStats* stats) : reader(stats) {}
+
+  Status Open(const std::string& path) {
+    SEMIS_RETURN_IF_ERROR(reader.Open(path));
+    return Advance();
+  }
+
+  Status Advance() {
+    if (reader.AtEof()) {
+      done = true;
+      return Status::OK();
+    }
+    SEMIS_RETURN_IF_ERROR(reader.ReadU64(&key));
+    SEMIS_RETURN_IF_ERROR(reader.ReadU32(&value));
+    return Status::OK();
+  }
+
+  SequentialFileReader reader;
+  uint64_t key = 0;
+  uint32_t value = 0;
+  bool done = false;
+};
+
+ExternalPriorityQueue::ExternalPriorityQueue(
+    ExternalPriorityQueueOptions options)
+    : options_(std::move(options)) {
+  if (options_.memory_budget_entries < 16) options_.memory_budget_entries = 16;
+}
+
+ExternalPriorityQueue::~ExternalPriorityQueue() = default;
+
+Status ExternalPriorityQueue::Push(uint64_t key, uint32_t value) {
+  heap_.push_back(Entry{key, value});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const Entry& a, const Entry& b) { return a.key > b.key; });
+  size_++;
+  if (heap_.size() >= options_.memory_budget_entries) {
+    SEMIS_RETURN_IF_ERROR(Spill());
+  }
+  return Status::OK();
+}
+
+Status ExternalPriorityQueue::Spill() {
+  if (heap_.empty()) return Status::OK();
+  if (scratch_path_.empty()) {
+    if (!options_.scratch_dir.empty()) {
+      scratch_path_ = options_.scratch_dir;
+    } else {
+      SEMIS_RETURN_IF_ERROR(ScratchDir::Create("semis-epq", &owned_scratch_));
+      scratch_path_ = owned_scratch_.path();
+    }
+  }
+  std::sort(heap_.begin(), heap_.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  std::string path = scratch_path_ + "/run." + std::to_string(runs_created_);
+  SequentialFileWriter writer(options_.stats);
+  SEMIS_RETURN_IF_ERROR(writer.Open(path));
+  for (const Entry& e : heap_) {
+    SEMIS_RETURN_IF_ERROR(writer.AppendU64(e.key));
+    SEMIS_RETURN_IF_ERROR(writer.AppendU32(e.value));
+  }
+  SEMIS_RETURN_IF_ERROR(writer.Close());
+  heap_.clear();
+  runs_created_++;
+  auto cursor = std::make_unique<RunCursor>(options_.stats);
+  SEMIS_RETURN_IF_ERROR(cursor->Open(path));
+  runs_.push_back(std::move(cursor));
+  return Status::OK();
+}
+
+bool ExternalPriorityQueue::Empty() const { return size_ == 0; }
+
+bool ExternalPriorityQueue::FindMin(int* source) const {
+  bool found = false;
+  uint64_t best_key = 0;
+  if (!heap_.empty()) {
+    best_key = heap_.front().key;
+    *source = -1;
+    found = true;
+  }
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i]->done) continue;
+    if (!found || runs_[i]->key < best_key) {
+      best_key = runs_[i]->key;
+      *source = static_cast<int>(i);
+      found = true;
+    }
+  }
+  return found;
+}
+
+Status ExternalPriorityQueue::PeekMin(uint64_t* key, uint32_t* value) {
+  int source = 0;
+  if (!FindMin(&source)) {
+    return Status::InvalidArgument("PeekMin on empty queue");
+  }
+  if (source < 0) {
+    *key = heap_.front().key;
+    *value = heap_.front().value;
+  } else {
+    *key = runs_[source]->key;
+    *value = runs_[source]->value;
+  }
+  return Status::OK();
+}
+
+Status ExternalPriorityQueue::PopMin(uint64_t* key, uint32_t* value) {
+  int source = 0;
+  if (!FindMin(&source)) {
+    return Status::InvalidArgument("PopMin on empty queue");
+  }
+  if (source < 0) {
+    *key = heap_.front().key;
+    *value = heap_.front().value;
+    std::pop_heap(heap_.begin(), heap_.end(),
+                  [](const Entry& a, const Entry& b) { return a.key > b.key; });
+    heap_.pop_back();
+  } else {
+    *key = runs_[source]->key;
+    *value = runs_[source]->value;
+    SEMIS_RETURN_IF_ERROR(runs_[source]->Advance());
+  }
+  size_--;
+  return Status::OK();
+}
+
+}  // namespace semis

@@ -1,0 +1,89 @@
+// Copyright (c) the semis authors.
+// External-memory priority queue: the substrate for the fully-external
+// maximal-independent-set baseline (Zeh [27] / time-forward processing),
+// which the paper's experiments call "STXXL".
+//
+// Design: inserts accumulate in an in-memory min-heap; when the heap
+// exceeds its budget it is drained into a sorted spill run. PopMin takes
+// the minimum of the heap top and all run heads. Runs are internally
+// sorted, so their heads only increase; correctness holds for arbitrary
+// push/pop interleavings, and I/O stays sequential per run.
+#ifndef SEMIS_IO_EXTERNAL_PRIORITY_QUEUE_H_
+#define SEMIS_IO_EXTERNAL_PRIORITY_QUEUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/file.h"
+#include "io/io_stats.h"
+#include "io/scratch.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Tuning knobs for ExternalPriorityQueue.
+struct ExternalPriorityQueueOptions {
+  /// Max in-memory entries before spilling a run (12 bytes per entry).
+  size_t memory_budget_entries = 4u << 20;
+  /// Directory for spill runs. Empty = private ScratchDir.
+  std::string scratch_dir;
+  /// Optional I/O counters.
+  IoStats* stats = nullptr;
+};
+
+/// Min-priority queue of (u64 key, u32 value) pairs with spilling.
+/// Pop order: ascending key; ties in unspecified but deterministic order.
+class ExternalPriorityQueue {
+ public:
+  explicit ExternalPriorityQueue(ExternalPriorityQueueOptions options);
+  ~ExternalPriorityQueue();
+
+  ExternalPriorityQueue(const ExternalPriorityQueue&) = delete;
+  ExternalPriorityQueue& operator=(const ExternalPriorityQueue&) = delete;
+
+  /// Inserts an entry.
+  Status Push(uint64_t key, uint32_t value);
+
+  /// True when no entries remain.
+  bool Empty() const;
+
+  /// Reads the minimum entry without removing it. Requires !Empty().
+  Status PeekMin(uint64_t* key, uint32_t* value);
+
+  /// Removes and returns the minimum entry. Requires !Empty().
+  Status PopMin(uint64_t* key, uint32_t* value);
+
+  /// Number of entries currently stored (memory + disk).
+  uint64_t Size() const { return size_; }
+
+  /// Number of spill runs created over the queue's lifetime.
+  size_t RunsCreated() const { return runs_created_; }
+
+ private:
+  struct RunCursor;
+
+  Status Spill();
+  // Finds the source of the global minimum: -1 = in-memory heap, else run
+  // index. Returns false if empty.
+  bool FindMin(int* source) const;
+
+  ExternalPriorityQueueOptions options_;
+  ScratchDir owned_scratch_;
+  std::string scratch_path_;
+
+  struct Entry {
+    uint64_t key;
+    uint32_t value;
+  };
+  // Binary min-heap by key.
+  std::vector<Entry> heap_;
+  std::vector<std::unique_ptr<RunCursor>> runs_;
+  uint64_t size_ = 0;
+  size_t runs_created_ = 0;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_IO_EXTERNAL_PRIORITY_QUEUE_H_

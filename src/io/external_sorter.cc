@@ -1,0 +1,230 @@
+#include "io/external_sorter.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace semis {
+
+// A sequential cursor over one sorted run file. Record layout:
+//   u64 key, u32 len, u32 payload[len]
+struct ExternalSorter::RunCursor {
+  explicit RunCursor(IoStats* stats) : reader(stats) {}
+
+  Status Open(const std::string& path) {
+    SEMIS_RETURN_IF_ERROR(reader.Open(path));
+    return Advance();
+  }
+
+  // Loads the next record into (key, payload). Sets `done` at EOF.
+  Status Advance() {
+    if (reader.AtEof()) {
+      done = true;
+      return Status::OK();
+    }
+    SEMIS_RETURN_IF_ERROR(reader.ReadU64(&key));
+    uint32_t len = 0;
+    SEMIS_RETURN_IF_ERROR(reader.ReadU32(&len));
+    payload.resize(len);
+    if (len > 0) {
+      SEMIS_RETURN_IF_ERROR(
+          reader.ReadExact(payload.data(), sizeof(uint32_t) * len));
+    }
+    return Status::OK();
+  }
+
+  SequentialFileReader reader;
+  uint64_t key = 0;
+  std::vector<uint32_t> payload;
+  bool done = false;
+};
+
+ExternalSorter::ExternalSorter(ExternalSorterOptions options)
+    : options_(std::move(options)) {
+  if (options_.fan_in < 2) options_.fan_in = 2;
+}
+
+ExternalSorter::~ExternalSorter() = default;
+
+Status ExternalSorter::Add(uint64_t key, const uint32_t* payload,
+                           uint32_t len) {
+  if (finished_) return Status::InvalidArgument("Add after Finish");
+  IndexEntry e;
+  e.key = key;
+  e.offset = payload_pool_.size();
+  e.len = len;
+  e.seq = static_cast<uint32_t>(index_.size());
+  if (len > 0) {
+    payload_pool_.insert(payload_pool_.end(), payload, payload + len);
+  }
+  index_.push_back(e);
+  num_records_++;
+  mem_used_ += sizeof(IndexEntry) + sizeof(uint32_t) * len;
+  if (mem_used_ >= options_.memory_budget_bytes) {
+    SEMIS_RETURN_IF_ERROR(SpillRun());
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::SpillRun() {
+  if (index_.empty()) return Status::OK();
+  if (scratch_path_.empty()) {
+    if (!options_.scratch_dir.empty()) {
+      scratch_path_ = options_.scratch_dir;
+    } else {
+      SEMIS_RETURN_IF_ERROR(ScratchDir::Create("semis-sort", &owned_scratch_));
+      scratch_path_ = owned_scratch_.path();
+    }
+  }
+  std::sort(index_.begin(), index_.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.seq < b.seq;
+            });
+  std::string path =
+      scratch_path_ + "/run." + std::to_string(run_files_.size());
+  SequentialFileWriter writer(options_.stats);
+  SEMIS_RETURN_IF_ERROR(writer.Open(path));
+  for (const IndexEntry& e : index_) {
+    SEMIS_RETURN_IF_ERROR(writer.AppendU64(e.key));
+    SEMIS_RETURN_IF_ERROR(writer.AppendU32(e.len));
+    if (e.len > 0) {
+      SEMIS_RETURN_IF_ERROR(writer.Append(payload_pool_.data() + e.offset,
+                                          sizeof(uint32_t) * e.len));
+    }
+  }
+  SEMIS_RETURN_IF_ERROR(writer.Close());
+  run_files_.push_back(path);
+  index_.clear();
+  payload_pool_.clear();
+  payload_pool_.shrink_to_fit();
+  mem_used_ = 0;
+  return Status::OK();
+}
+
+Status ExternalSorter::MergeRuns(const std::vector<std::string>& inputs,
+                                 const std::string& output) {
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  cursors.reserve(inputs.size());
+  for (const std::string& in : inputs) {
+    auto c = std::make_unique<RunCursor>(options_.stats);
+    SEMIS_RETURN_IF_ERROR(c->Open(in));
+    cursors.push_back(std::move(c));
+  }
+  // Min-heap over (key, cursor index); index tiebreak keeps the merge
+  // deterministic.
+  using HeapItem = std::pair<uint64_t, size_t>;
+  auto cmp = [](const HeapItem& a, const HeapItem& b) { return a > b; };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(cmp)> heap(
+      cmp);
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    if (!cursors[i]->done) heap.emplace(cursors[i]->key, i);
+  }
+  SequentialFileWriter writer(options_.stats);
+  SEMIS_RETURN_IF_ERROR(writer.Open(output));
+  while (!heap.empty()) {
+    auto [key, idx] = heap.top();
+    heap.pop();
+    RunCursor* c = cursors[idx].get();
+    SEMIS_RETURN_IF_ERROR(writer.AppendU64(c->key));
+    SEMIS_RETURN_IF_ERROR(
+        writer.AppendU32(static_cast<uint32_t>(c->payload.size())));
+    if (!c->payload.empty()) {
+      SEMIS_RETURN_IF_ERROR(writer.Append(
+          c->payload.data(), sizeof(uint32_t) * c->payload.size()));
+    }
+    SEMIS_RETURN_IF_ERROR(c->Advance());
+    if (!c->done) heap.emplace(c->key, idx);
+  }
+  SEMIS_RETURN_IF_ERROR(writer.Close());
+  for (const std::string& in : inputs) {
+    SEMIS_RETURN_IF_ERROR(RemoveFileIfExists(in));
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::Finish() {
+  if (finished_) return Status::InvalidArgument("Finish called twice");
+  finished_ = true;
+  if (run_files_.empty()) {
+    // Everything fits in memory: sort in place and stream from the buffer.
+    std::sort(index_.begin(), index_.end(),
+              [](const IndexEntry& a, const IndexEntry& b) {
+                if (a.key != b.key) return a.key < b.key;
+                return a.seq < b.seq;
+              });
+    mem_iter_ = 0;
+    return Status::OK();
+  }
+  // Input ended mid-buffer: spill the tail as one more run.
+  SEMIS_RETURN_IF_ERROR(SpillRun());
+  initial_runs_ = run_files_.size();
+  // Intermediate passes until <= fan_in runs remain.
+  while (run_files_.size() > options_.fan_in) {
+    if (options_.stats != nullptr) options_.stats->sort_passes++;
+    merge_passes_++;
+    std::vector<std::string> next_level;
+    for (size_t i = 0; i < run_files_.size(); i += options_.fan_in) {
+      size_t end = std::min(i + options_.fan_in, run_files_.size());
+      std::vector<std::string> group(run_files_.begin() + i,
+                                     run_files_.begin() + end);
+      if (group.size() == 1) {
+        next_level.push_back(group[0]);
+        continue;
+      }
+      std::string out = scratch_path_ + "/merge." +
+                        std::to_string(merge_passes_) + "." +
+                        std::to_string(next_level.size());
+      SEMIS_RETURN_IF_ERROR(MergeRuns(group, out));
+      next_level.push_back(out);
+    }
+    run_files_ = std::move(next_level);
+  }
+  // Final on-the-fly merge: open cursors for the surviving runs.
+  if (options_.stats != nullptr) options_.stats->sort_passes++;
+  cursors_.reserve(run_files_.size());
+  for (const std::string& path : run_files_) {
+    auto c = std::make_unique<RunCursor>(options_.stats);
+    SEMIS_RETURN_IF_ERROR(c->Open(path));
+    cursors_.push_back(std::move(c));
+  }
+  return Status::OK();
+}
+
+bool ExternalSorter::NextFromMemory(uint64_t* key,
+                                    std::vector<uint32_t>* payload) {
+  if (mem_iter_ >= index_.size()) return false;
+  const IndexEntry& e = index_[mem_iter_++];
+  *key = e.key;
+  payload->assign(payload_pool_.begin() + e.offset,
+                  payload_pool_.begin() + e.offset + e.len);
+  return true;
+}
+
+bool ExternalSorter::NextFromRuns(uint64_t* key,
+                                  std::vector<uint32_t>* payload) {
+  size_t best = cursors_.size();
+  for (size_t i = 0; i < cursors_.size(); ++i) {
+    if (cursors_[i]->done) continue;
+    if (best == cursors_.size() || cursors_[i]->key < cursors_[best]->key) {
+      best = i;
+    }
+  }
+  if (best == cursors_.size()) return false;
+  RunCursor* c = cursors_[best].get();
+  *key = c->key;
+  *payload = c->payload;
+  Status s = c->Advance();
+  if (!s.ok()) {
+    status_ = s;
+    return false;
+  }
+  return true;
+}
+
+bool ExternalSorter::Next(uint64_t* key, std::vector<uint32_t>* payload) {
+  if (!finished_ || !status_.ok()) return false;
+  if (run_files_.empty()) return NextFromMemory(key, payload);
+  return NextFromRuns(key, payload);
+}
+
+}  // namespace semis

@@ -1,0 +1,190 @@
+#include "io/file.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace semis {
+
+namespace {
+std::string ErrnoMessage(const std::string& prefix, const std::string& path) {
+  return prefix + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- writer --
+
+SequentialFileWriter::SequentialFileWriter(IoStats* stats, size_t buffer_bytes)
+    : stats_(stats), buffer_(buffer_bytes) {}
+
+SequentialFileWriter::~SequentialFileWriter() { Close().ok(); }
+
+Status SequentialFileWriter::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::InvalidArgument("writer already open");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot create", path));
+  }
+  path_ = path;
+  buffered_ = 0;
+  bytes_written_ = 0;
+  if (stats_ != nullptr) stats_->files_opened++;
+  return Status::OK();
+}
+
+Status SequentialFileWriter::Append(const void* data, size_t n) {
+  if (file_ == nullptr) return Status::InvalidArgument("writer not open");
+  const char* src = static_cast<const char*>(data);
+  bytes_written_ += n;
+  if (stats_ != nullptr) {
+    stats_->bytes_written += n;
+    stats_->write_calls++;
+  }
+  while (n > 0) {
+    size_t space = buffer_.size() - buffered_;
+    if (space == 0) {
+      SEMIS_RETURN_IF_ERROR(Flush());
+      space = buffer_.size();
+    }
+    size_t chunk = n < space ? n : space;
+    std::memcpy(buffer_.data() + buffered_, src, chunk);
+    buffered_ += chunk;
+    src += chunk;
+    n -= chunk;
+  }
+  return Status::OK();
+}
+
+Status SequentialFileWriter::Flush() {
+  if (file_ == nullptr) return Status::InvalidArgument("writer not open");
+  if (buffered_ > 0) {
+    size_t written = std::fwrite(buffer_.data(), 1, buffered_, file_);
+    if (written != buffered_) {
+      return Status::IOError(ErrnoMessage("short write to", path_));
+    }
+    buffered_ = 0;
+  }
+  return Status::OK();
+}
+
+Status SequentialFileWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status s = Flush();
+  if (std::fclose(file_) != 0 && s.ok()) {
+    s = Status::IOError(ErrnoMessage("close failed for", path_));
+  }
+  file_ = nullptr;
+  return s;
+}
+
+// ---------------------------------------------------------------- reader --
+
+SequentialFileReader::SequentialFileReader(IoStats* stats, size_t buffer_bytes)
+    : stats_(stats), buffer_(buffer_bytes) {}
+
+SequentialFileReader::~SequentialFileReader() { Close().ok(); }
+
+Status SequentialFileReader::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::InvalidArgument("reader already open");
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open", path));
+  }
+  path_ = path;
+  buf_pos_ = buf_len_ = 0;
+  hit_eof_ = false;
+  bytes_read_ = 0;
+  if (stats_ != nullptr) stats_->files_opened++;
+  return Status::OK();
+}
+
+Status SequentialFileReader::FillBuffer() {
+  buf_pos_ = 0;
+  buf_len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
+  if (buf_len_ < buffer_.size()) {
+    if (std::ferror(file_)) {
+      return Status::IOError(ErrnoMessage("read failed for", path_));
+    }
+    if (buf_len_ == 0) hit_eof_ = true;
+  }
+  return Status::OK();
+}
+
+Status SequentialFileReader::Read(void* out, size_t n, size_t* out_n) {
+  if (file_ == nullptr) return Status::InvalidArgument("reader not open");
+  char* dst = static_cast<char*>(out);
+  size_t got = 0;
+  while (n > 0) {
+    if (buf_pos_ == buf_len_) {
+      if (hit_eof_) break;
+      SEMIS_RETURN_IF_ERROR(FillBuffer());
+      if (buf_len_ == 0) break;
+    }
+    size_t avail = buf_len_ - buf_pos_;
+    size_t chunk = n < avail ? n : avail;
+    std::memcpy(dst, buffer_.data() + buf_pos_, chunk);
+    buf_pos_ += chunk;
+    dst += chunk;
+    got += chunk;
+    n -= chunk;
+  }
+  bytes_read_ += got;
+  if (stats_ != nullptr) {
+    stats_->bytes_read += got;
+    stats_->read_calls++;
+  }
+  *out_n = got;
+  return Status::OK();
+}
+
+Status SequentialFileReader::ReadExact(void* out, size_t n) {
+  size_t got = 0;
+  SEMIS_RETURN_IF_ERROR(Read(out, n, &got));
+  if (got != n) {
+    return Status::Corruption("unexpected EOF in '" + path_ + "' (wanted " +
+                              std::to_string(n) + " bytes, got " +
+                              std::to_string(got) + ")");
+  }
+  return Status::OK();
+}
+
+bool SequentialFileReader::AtEof() {
+  if (file_ == nullptr) return true;
+  if (buf_pos_ < buf_len_) return false;
+  if (hit_eof_) return true;
+  // Peek one buffer ahead.
+  Status s = FillBuffer();
+  if (!s.ok()) return true;
+  return buf_len_ == 0;
+}
+
+Status SequentialFileReader::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status s = Status::OK();
+  if (std::fclose(file_) != 0) {
+    s = Status::IOError(ErrnoMessage("close failed for", path_));
+  }
+  file_ = nullptr;
+  return s;
+}
+
+// --------------------------------------------------------------- helpers --
+
+Status GetFileSize(const std::string& path, uint64_t* size) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::NotFound(ErrnoMessage("stat failed for", path));
+  }
+  *size = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("remove failed for", path));
+  }
+  return Status::OK();
+}
+
+}  // namespace semis

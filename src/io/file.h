@@ -1,0 +1,128 @@
+// Copyright (c) the semis authors.
+// Buffered sequential file access. This is the only way graph data reaches
+// the algorithms: the API intentionally offers no seek-to-offset read, so
+// core code is structurally unable to perform the random accesses the
+// semi-external model forbids.
+#ifndef SEMIS_IO_FILE_H_
+#define SEMIS_IO_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Append-only buffered writer.
+class SequentialFileWriter {
+ public:
+  /// `stats` may be null; if set, byte counters are charged to it.
+  explicit SequentialFileWriter(IoStats* stats = nullptr,
+                                size_t buffer_bytes = 1 << 20);
+  ~SequentialFileWriter();
+
+  SequentialFileWriter(const SequentialFileWriter&) = delete;
+  SequentialFileWriter& operator=(const SequentialFileWriter&) = delete;
+
+  /// Creates/truncates `path` for writing.
+  Status Open(const std::string& path);
+
+  /// Appends `n` raw bytes.
+  Status Append(const void* data, size_t n);
+
+  /// Appends one little-endian u32.
+  Status AppendU32(uint32_t v) { return Append(&v, sizeof(v)); }
+
+  /// Appends one little-endian u64.
+  Status AppendU64(uint64_t v) { return Append(&v, sizeof(v)); }
+
+  /// Flushes the user-space buffer to the OS.
+  Status Flush();
+
+  /// Flushes and closes. Safe to call twice.
+  Status Close();
+
+  /// Bytes appended so far (including buffered, not yet flushed bytes).
+  uint64_t BytesWritten() const { return bytes_written_; }
+
+  /// Path passed to Open().
+  const std::string& path() const { return path_; }
+
+  /// True if Open() succeeded and Close() has not been called.
+  bool IsOpen() const { return file_ != nullptr; }
+
+ private:
+  IoStats* stats_;
+  std::vector<char> buffer_;
+  size_t buffered_ = 0;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Forward-only buffered reader.
+class SequentialFileReader {
+ public:
+  /// `stats` may be null; if set, byte counters are charged to it.
+  explicit SequentialFileReader(IoStats* stats = nullptr,
+                                size_t buffer_bytes = 1 << 20);
+  ~SequentialFileReader();
+
+  SequentialFileReader(const SequentialFileReader&) = delete;
+  SequentialFileReader& operator=(const SequentialFileReader&) = delete;
+
+  /// Opens `path` for reading from the beginning.
+  Status Open(const std::string& path);
+
+  /// Reads exactly `n` bytes into `out`. Fails with Corruption on a short
+  /// read (graph files have self-describing lengths, so EOF mid-record
+  /// means a truncated file).
+  Status ReadExact(void* out, size_t n);
+
+  /// Reads up to `n` bytes; `*out_n` receives the number actually read
+  /// (0 at EOF).
+  Status Read(void* out, size_t n, size_t* out_n);
+
+  /// Reads one little-endian u32.
+  Status ReadU32(uint32_t* v) { return ReadExact(v, sizeof(*v)); }
+
+  /// Reads one little-endian u64.
+  Status ReadU64(uint64_t* v) { return ReadExact(v, sizeof(*v)); }
+
+  /// True when all bytes have been consumed.
+  bool AtEof();
+
+  /// Closes the file. Safe to call twice.
+  Status Close();
+
+  /// Bytes consumed so far.
+  uint64_t BytesRead() const { return bytes_read_; }
+
+  /// Path passed to Open().
+  const std::string& path() const { return path_; }
+
+ private:
+  Status FillBuffer();
+
+  IoStats* stats_;
+  std::vector<char> buffer_;
+  size_t buf_pos_ = 0;
+  size_t buf_len_ = 0;
+  bool hit_eof_ = false;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_read_ = 0;
+};
+
+/// Returns the size of `path` in bytes, or a NotFound/IOError status.
+Status GetFileSize(const std::string& path, uint64_t* size);
+
+/// Removes a file if it exists (missing file is not an error).
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace semis
+
+#endif  // SEMIS_IO_FILE_H_

@@ -1,0 +1,52 @@
+#include "io/scratch.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+namespace semis {
+
+ScratchDir::~ScratchDir() { Remove(); }
+
+ScratchDir::ScratchDir(ScratchDir&& other) noexcept
+    : path_(std::move(other.path_)), counter_(other.counter_) {
+  other.path_.clear();
+}
+
+ScratchDir& ScratchDir::operator=(ScratchDir&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = std::move(other.path_);
+    counter_ = other.counter_;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Status ScratchDir::Create(const std::string& prefix, ScratchDir* out) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/" +
+                     prefix + ".XXXXXX";
+  // mkdtemp mutates its argument in place.
+  std::string buf = tmpl;
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Status::IOError("mkdtemp failed for template " + tmpl);
+  }
+  out->Remove();
+  out->path_ = buf;
+  out->counter_ = 0;
+  return Status::OK();
+}
+
+std::string ScratchDir::NewFilePath(const std::string& tag) {
+  return path_ + "/" + tag + "." + std::to_string(counter_++);
+}
+
+void ScratchDir::Remove() {
+  if (path_.empty()) return;
+  std::error_code ec;  // best effort; scratch cleanup must not throw
+  std::filesystem::remove_all(path_, ec);
+  path_.clear();
+}
+
+}  // namespace semis

@@ -1,0 +1,46 @@
+// Copyright (c) the semis authors.
+// Scratch-space management for spill files (external sort runs, priority
+// queue runs, intermediate adjacency files).
+#ifndef SEMIS_IO_SCRATCH_H_
+#define SEMIS_IO_SCRATCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace semis {
+
+/// A uniquely-named temporary directory that removes itself (and its
+/// contents) on destruction. Movable, not copyable.
+class ScratchDir {
+ public:
+  ScratchDir() = default;
+  ~ScratchDir();
+
+  ScratchDir(ScratchDir&& other) noexcept;
+  ScratchDir& operator=(ScratchDir&& other) noexcept;
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  /// Creates a fresh directory under $TMPDIR (or /tmp) named
+  /// `<prefix>.XXXXXX`.
+  static Status Create(const std::string& prefix, ScratchDir* out);
+
+  /// Absolute path of the directory ("" if not created).
+  const std::string& path() const { return path_; }
+
+  /// Returns a unique file path inside the directory, `<tag>.<counter>`.
+  std::string NewFilePath(const std::string& tag);
+
+  /// Removes the directory tree now (also done by the destructor).
+  void Remove();
+
+ private:
+  std::string path_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_IO_SCRATCH_H_

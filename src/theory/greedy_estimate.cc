@@ -1,0 +1,15 @@
+#include "theory/greedy_estimate.h"
+
+#include "theory/model_tables.h"
+
+namespace semis {
+
+double GreedyExpectedAtDegree(const PlrgModel& model, uint64_t i) {
+  return ModelTables::Get(model).GreedyAt(i);
+}
+
+double GreedyExpectedSize(const PlrgModel& model) {
+  return ModelTables::Get(model).GreedyTotal();
+}
+
+}  // namespace semis

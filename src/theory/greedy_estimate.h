@@ -1,0 +1,39 @@
+// Copyright (c) the semis authors.
+// Lemma 1 / Proposition 2: the expected independent-set size of the
+// semi-external GREEDY on a PLRG.
+//
+// Derivation implemented here (the paper's Equations 6-7 are typeset
+// ambiguously in the available text; this is the probabilistic reading
+// consistent with the proof sketch, and it reproduces Table 2 and
+// Table 9): let S = zeta(beta-1, Delta) e^alpha be the total number of
+// vertex copies and n_i = e^alpha / i^beta the number of degree-i
+// vertices. The x-th degree-i vertex enters the set if all of its i
+// matched copies land on vertices that are scanned AFTER it, i.e. on a
+// vertex of degree > i, or on a degree-i vertex with index > x:
+//   p(x) = [ i (n_i - x) + (zeta(beta-1,Delta) - zeta(beta-1,i)) e^alpha ] / S
+//   GR_i = sum_{x=1..n_i} p(x)^i   (evaluated in closed form as the
+//          integral of the degree-i polynomial (A - Bx)^i).
+// This is a lower bound: it ignores the second-order chance of entering
+// even though an earlier neighbor was scanned first but was itself
+// knocked out -- matching the paper's "consistent with our proof, this is
+// a lower bound" observation for Table 9.
+#ifndef SEMIS_THEORY_GREEDY_ESTIMATE_H_
+#define SEMIS_THEORY_GREEDY_ESTIMATE_H_
+
+#include <cstdint>
+
+#include "theory/plrg_model.h"
+
+namespace semis {
+
+/// GR_i(alpha, beta): expected number of degree-i vertices GREEDY selects
+/// (Lemma 1).
+double GreedyExpectedAtDegree(const PlrgModel& model, uint64_t i);
+
+/// GR(alpha, beta) = sum_i GR_i: the expected greedy set size
+/// (Proposition 2).
+double GreedyExpectedSize(const PlrgModel& model);
+
+}  // namespace semis
+
+#endif  // SEMIS_THEORY_GREEDY_ESTIMATE_H_

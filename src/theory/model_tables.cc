@@ -1,0 +1,78 @@
+#include "theory/model_tables.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace semis {
+
+namespace {
+// Tables stop growing past this degree: n_i is far below 1 there for every
+// parameterization the paper sweeps, so higher degrees contribute nothing.
+constexpr uint64_t kMaxTableDegree = 4u << 20;
+}  // namespace
+
+ModelTables::ModelTables(const PlrgModel& model) : model_(model) {
+  max_degree_ = std::min<uint64_t>(model.MaxDegree(), kMaxTableDegree);
+  e_alpha_ = std::exp(model.alpha);
+  zeta_b1_.resize(max_degree_ + 1);
+  n_.resize(max_degree_ + 1);
+  zeta_b1_[0] = 0.0;
+  n_[0] = 0.0;
+  for (uint64_t i = 1; i <= max_degree_; ++i) {
+    const double di = static_cast<double>(i);
+    zeta_b1_[i] = zeta_b1_[i - 1] + std::pow(di, 1.0 - model.beta);
+    n_[i] = model.CountWithDegree(di);
+  }
+
+  // GR_i (Lemma 1): closed-form integral of (A - Bx)^i over x in [0, n_i];
+  // see theory/greedy_estimate.h for the derivation.
+  gr_.assign(max_degree_ + 1, 0.0);
+  const double S = zeta_b1_.back() * e_alpha_;
+  for (uint64_t i = 1; i <= max_degree_; ++i) {
+    if (S <= 0 || n_[i] < 1e-12) continue;
+    const double di = static_cast<double>(i);
+    const double later_copies = (zeta_b1_.back() - zeta_b1_[i]) * e_alpha_;
+    const double A = (di * n_[i] + later_copies) / S;
+    const double B = di / S;
+    const double p0 = std::clamp(A, 0.0, 1.0);
+    const double p1 = std::clamp(A - B * n_[i], 0.0, 1.0);
+    double gr = B <= 0 ? n_[i] * std::pow(p0, di)
+                       : (std::pow(p0, di + 1.0) - std::pow(p1, di + 1.0)) /
+                             (B * (di + 1.0));
+    gr_[i] = std::clamp(gr, 0.0, n_[i]);
+    gr_total_ += gr_[i];
+    c_ += di * gr_[i];
+    if (i >= 2) anchor_weight_ += di * gr_[i];
+  }
+  c_ /= e_alpha_;
+
+  // |A_i| (Eq. 13): P(exactly one IS neighbor | >= one IS neighbor) among
+  // the non-selected degree-i vertices.
+  a_.assign(max_degree_ + 1, 0.0);
+  const double zeta_b1 = zeta_b1_.back();
+  if (zeta_b1 > 0) {
+    const double q = c_ / zeta_b1;
+    const double r = std::max(0.0, (zeta_b1 - 2.0 * c_) / zeta_b1);
+    for (uint64_t i = 1; i <= max_degree_; ++i) {
+      const double di = static_cast<double>(i);
+      const double non_is = std::max(0.0, n_[i] - gr_[i]);
+      const double denom = std::pow(q + r, di) - std::pow(r, di);
+      if (denom <= 1e-300) continue;
+      const double p =
+          std::clamp(di * q * std::pow(r, di - 1.0) / denom, 0.0, 1.0);
+      a_[i] = non_is * p;
+    }
+  }
+}
+
+const ModelTables& ModelTables::Get(const PlrgModel& model) {
+  static thread_local std::unique_ptr<ModelTables> cache;
+  if (cache == nullptr || cache->model_.alpha != model.alpha ||
+      cache->model_.beta != model.beta) {
+    cache = std::make_unique<ModelTables>(model);
+  }
+  return *cache;
+}
+
+}  // namespace semis

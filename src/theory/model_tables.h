@@ -1,0 +1,71 @@
+// Copyright (c) the semis authors.
+// Shared precomputed tables for the PLRG analytical machinery. The
+// formulas of Lemma 1 / Propositions 2 and 5 repeatedly need zeta
+// prefixes, per-degree counts n_i, GR_i and |A_i|; computing them on
+// demand is O(Delta^2) per query and makes the O(ds^3) Proposition 5
+// summation intractable. One table per (alpha, beta) makes every query
+// O(1) after an O(Delta) build.
+#ifndef SEMIS_THEORY_MODEL_TABLES_H_
+#define SEMIS_THEORY_MODEL_TABLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "theory/plrg_model.h"
+
+namespace semis {
+
+/// Precomputed per-degree tables for one PlrgModel. Obtain through
+/// ModelTables::Get (thread-local LRU of size 1, keyed by alpha/beta --
+/// the sweeps iterate one model at a time).
+class ModelTables {
+ public:
+  /// Builds tables for `model`. Prefer Get() which caches.
+  explicit ModelTables(const PlrgModel& model);
+
+  /// Cached lookup (rebuilds only when alpha/beta change).
+  static const ModelTables& Get(const PlrgModel& model);
+
+  const PlrgModel& model() const { return model_; }
+  uint64_t max_degree() const { return max_degree_; }
+  double e_alpha() const { return e_alpha_; }
+
+  /// zeta(beta-1, i); i in [0, max_degree].
+  double ZetaB1(uint64_t i) const { return zeta_b1_[i]; }
+  /// zeta(beta-1, max_degree): the total copy mass / e^alpha.
+  double ZetaB1Total() const { return zeta_b1_.back(); }
+  /// n_i = e^alpha / i^beta (0 for i outside [1, max_degree]).
+  double CountAt(uint64_t i) const {
+    return i >= 1 && i <= max_degree_ ? n_[i] : 0.0;
+  }
+  /// GR_i of Lemma 1 (0 outside range).
+  double GreedyAt(uint64_t i) const {
+    return i >= 1 && i <= max_degree_ ? gr_[i] : 0.0;
+  }
+  /// GR = sum_i GR_i (Proposition 2).
+  double GreedyTotal() const { return gr_total_; }
+  /// c(alpha, beta) = sum_i i GR_i / e^alpha (Lemma 3).
+  double CopyFraction() const { return c_; }
+  /// sum_j j GR_j for j >= 2: the anchor-weight normalizer of Eq. 13.
+  double AnchorWeight() const { return anchor_weight_; }
+  /// |A_i| of Eq. 13 (0 outside range).
+  double AdjacentAt(uint64_t i) const {
+    return i >= 1 && i <= max_degree_ ? a_[i] : 0.0;
+  }
+
+ private:
+  PlrgModel model_;
+  uint64_t max_degree_;
+  double e_alpha_;
+  std::vector<double> zeta_b1_;  // size max_degree_+1
+  std::vector<double> n_;        // size max_degree_+1
+  std::vector<double> gr_;       // size max_degree_+1
+  std::vector<double> a_;        // size max_degree_+1
+  double gr_total_ = 0;
+  double c_ = 0;
+  double anchor_weight_ = 0;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_THEORY_MODEL_TABLES_H_

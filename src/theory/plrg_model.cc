@@ -1,0 +1,40 @@
+#include "theory/plrg_model.h"
+
+#include <cmath>
+
+#include "theory/zeta.h"
+
+namespace semis {
+
+uint64_t PlrgModel::MaxDegree() const {
+  double d = std::exp(alpha / beta);
+  return d < 1.0 ? 0 : static_cast<uint64_t>(d);
+}
+
+double PlrgModel::CountWithDegree(double x) const {
+  return std::exp(alpha - beta * std::log(x));
+}
+
+double PlrgModel::ExpectedVertices() const {
+  return GeneralizedHarmonic(beta, MaxDegree()) * std::exp(alpha);
+}
+
+double PlrgModel::ExpectedDegreeSum() const {
+  return GeneralizedHarmonic(beta - 1.0, MaxDegree()) * std::exp(alpha);
+}
+
+PlrgModel PlrgModel::ForVertexCount(uint64_t num_vertices, double beta) {
+  double lo = 0.0, hi = 45.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    PlrgModel m{mid, beta};
+    if (m.ExpectedVertices() < static_cast<double>(num_vertices)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return PlrgModel{0.5 * (lo + hi), beta};
+}
+
+}  // namespace semis

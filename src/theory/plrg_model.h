@@ -1,0 +1,43 @@
+// Copyright (c) the semis authors.
+// Continuous PLRG model calculator (Section 2.2 / Equation 2):
+//   |{v : deg(v) = x}| = e^alpha / x^beta,  x = 1 .. Delta = floor(e^(alpha/beta))
+//   |V| = zeta(beta, Delta) e^alpha
+//   sum of degrees = zeta(beta-1, Delta) e^alpha     (~ 2|E|)
+// Used by every analytical estimate (Tables 2 and 9, Figures 6 and 8).
+#ifndef SEMIS_THEORY_PLRG_MODEL_H_
+#define SEMIS_THEORY_PLRG_MODEL_H_
+
+#include <cstdint>
+
+namespace semis {
+
+/// The (alpha, beta) model with continuous counts.
+struct PlrgModel {
+  double alpha = 10.0;
+  double beta = 2.0;
+
+  /// Delta = floor(e^(alpha/beta)): the maximum degree.
+  uint64_t MaxDegree() const;
+
+  /// e^alpha / x^beta: expected number of vertices of degree x.
+  double CountWithDegree(double x) const;
+
+  /// zeta(beta, Delta) e^alpha: the expected number of vertices.
+  double ExpectedVertices() const;
+
+  /// zeta(beta-1, Delta) e^alpha: the expected degree sum (2|E|).
+  double ExpectedDegreeSum() const;
+
+  /// Expected average degree.
+  double ExpectedAvgDegree() const {
+    double v = ExpectedVertices();
+    return v <= 0 ? 0.0 : ExpectedDegreeSum() / v;
+  }
+
+  /// Solves alpha so ExpectedVertices() ~ num_vertices at the given beta.
+  static PlrgModel ForVertexCount(uint64_t num_vertices, double beta);
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_THEORY_PLRG_MODEL_H_

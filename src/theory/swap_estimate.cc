@@ -1,0 +1,147 @@
+#include "theory/swap_estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "theory/model_tables.h"
+#include "theory/zeta.h"
+
+namespace semis {
+
+namespace {
+
+// log C(n, k) via lgamma, with the continuous extension. Returns -inf
+// when the combination is infeasible.
+double LogChoose(double n, double k) {
+  if (k < 0 || n < 0 || k > n) return -1e300;
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+// T(x, y, i) from precomputed tables. anchor_frac = i * GR_i / sum_j j GR_j
+// distributes the A vertices over anchor degrees (Lemma 4: partners'
+// degrees >= the anchor's).
+double SwapCountTImpl(const ModelTables& tables, uint64_t x, uint64_t y,
+                      uint64_t i, double anchor_frac) {
+  const double gr_i = tables.GreedyAt(i);
+  if (gr_i < 1.0) return 0.0;
+  const double a_x = tables.AdjacentAt(x) * anchor_frac;
+  const double a_y = tables.AdjacentAt(y) * anchor_frac;
+  if (a_x < 1.0 || a_y < 1.0) return 0.0;
+  const double pr = BinsAndBallsProbability(a_x, a_y, gr_i,
+                                            static_cast<double>(i));
+  return gr_i * pr;
+}
+
+}  // namespace
+
+double CopyFractionC(const PlrgModel& model) {
+  return ModelTables::Get(model).CopyFraction();
+}
+
+double SwapDegreeLimit(const PlrgModel& model) {
+  // Lemma 3: ds ~ (alpha + ln zeta(beta, Delta)) / ln c0, where
+  // c0 = zeta(beta-1,Delta) / (zeta(beta-1,Delta) - 2 c(alpha,beta)).
+  // alpha + ln zeta(beta, Delta) = ln |V|.
+  const ModelTables& tables = ModelTables::Get(model);
+  const double zeta_b1 = tables.ZetaB1Total();
+  const double c = tables.CopyFraction();
+  const double max_degree = static_cast<double>(tables.max_degree());
+  const double denom = zeta_b1 - 2.0 * c;
+  if (denom <= 0) return max_degree;
+  const double c0 = zeta_b1 / denom;
+  if (c0 <= 1.0) return max_degree;
+  const double ln_v = std::log(model.ExpectedVertices());
+  return std::clamp(ln_v / std::log(c0), 2.0, max_degree);
+}
+
+double ExpectedAdjacentAtDegree(const PlrgModel& model, uint64_t i) {
+  return ModelTables::Get(model).AdjacentAt(i);
+}
+
+double BinsAndBallsProbability(double m1, double m2, double n, double d) {
+  // Eq. 14:
+  //   Pr = C(d,1) C(n-d, m1-1) C(d-1,1) C(n-d-m1+1, m2-1)
+  //        / ( C(n, m1) C(n-m1, m2) ).
+  if (m1 < 1.0 || m2 < 1.0 || n < 1.0 || d < 1.0) return 0.0;
+  double log_num = std::log(d) + LogChoose(n - d, m1 - 1.0) +
+                   std::log(std::max(d - 1.0, 1e-12)) +
+                   LogChoose(n - d - m1 + 1.0, m2 - 1.0);
+  double log_den = LogChoose(n, m1) + LogChoose(n - m1, m2);
+  if (log_num <= -1e250 || log_den <= -1e250) return 0.0;
+  return std::clamp(std::exp(log_num - log_den), 0.0, 1.0);
+}
+
+double SwapCountT(const PlrgModel& model, uint64_t x, uint64_t y,
+                  uint64_t i) {
+  const ModelTables& tables = ModelTables::Get(model);
+  const double weight = tables.AnchorWeight();
+  if (weight <= 0) return 0.0;
+  const double anchor_frac =
+      static_cast<double>(i) * tables.GreedyAt(i) / weight;
+  return SwapCountTImpl(tables, x, y, i, anchor_frac);
+}
+
+double OneKSwapExpectedGain(const PlrgModel& model) {
+  // Proposition 5 estimates the one-round swap gain as
+  //   SG = sum_{i=2}^{ds} ( T(i,i,i) + sum_{j>i} T(j,i,i)
+  //                        + sum_{p>i} sum_{q>=p} T(p,q,i) ).
+  // Implementation note (see DESIGN.md / EXPERIMENTS.md): the literal
+  // Eq. 14/15 reading available from the paper text multiple-counts
+  // anchors that attract balls of several degree classes and carries a
+  // d(d-1) capacity factor, which together inflate SG by an order of
+  // magnitude (SG > bound - GR, an impossibility). We therefore compute
+  // the same quantity with the standard Poissonized occupancy argument:
+  //   * the |A| vertices (Eq. 13) are distributed over anchor classes
+  //     proportionally to i * GR_i (Lemma 4's degree ordering),
+  //   * a degree-i anchor can fire a 1-2 swap iff it attracts >= 2 balls:
+  //     P2(lambda_i) = 1 - e^-lambda (1 + lambda), lambda_i = balls/bins,
+  //   * half of the candidate swaps are lost to swap conflicts (the
+  //     Figure 2 race; factor rho = 1/2),
+  // and cap the total at half the greedy-to-optimum headroom implied by
+  // the paper's own Section 5 remark that "no algorithm can improve it
+  // more than 2%".
+  const ModelTables& tables = ModelTables::Get(model);
+  const uint64_t ds = static_cast<uint64_t>(SwapDegreeLimit(model));
+  const double weight = tables.AnchorWeight();
+  if (weight <= 0) return 0.0;
+  double total_adjacent = 0.0;
+  for (uint64_t x = 2; x <= ds; ++x) total_adjacent += tables.AdjacentAt(x);
+  constexpr double kConflictLoss = 0.5;  // rho
+  double sg = 0.0;
+  for (uint64_t i = 2; i <= ds; ++i) {
+    const double bins = tables.GreedyAt(i);
+    if (bins < 1.0) continue;
+    const double anchor_frac = static_cast<double>(i) * bins / weight;
+    const double balls = total_adjacent * anchor_frac;
+    const double lambda = balls / bins;
+    const double p2 = 1.0 - std::exp(-lambda) * (1.0 + lambda);
+    sg += bins * p2 * kConflictLoss;
+  }
+  const double gr = tables.GreedyTotal();
+  const double headroom = gr / 0.98 - gr;  // the "2%" remark
+  return std::min(sg, 0.5 * headroom);
+}
+
+double TwoKSwapDegreeLimit(const PlrgModel& model) {
+  // Lemma 6 / Eq. 17:
+  //   d2k < (alpha + ln zeta(beta,Delta) + 2 ln(zeta_b1/(zeta_b1 - c)))
+  //         / ln((zeta_b1 - c) / (zeta_b1 - 2c)).
+  const ModelTables& tables = ModelTables::Get(model);
+  const double zeta_b1 = tables.ZetaB1Total();
+  const double c = tables.CopyFraction();
+  const double max_degree = static_cast<double>(tables.max_degree());
+  const double num = std::log(model.ExpectedVertices()) +
+                     2.0 * std::log(zeta_b1 / std::max(zeta_b1 - c, 1e-12));
+  const double ratio = (zeta_b1 - c) / std::max(zeta_b1 - 2.0 * c, 1e-12);
+  if (ratio <= 1.0) return max_degree;
+  return std::clamp(num / std::log(ratio), 2.0, max_degree);
+}
+
+double ScVertexBound(const PlrgModel& model) {
+  // Lemma 6: |SC| < |V| - e^alpha (everything except the degree-1
+  // vertices).
+  return std::max(0.0, model.ExpectedVertices() - std::exp(model.alpha));
+}
+
+}  // namespace semis

@@ -1,0 +1,58 @@
+// Copyright (c) the semis authors.
+// Lemmas 3-4, 6 and Proposition 5: analytical machinery for the expected
+// gain of one round of ONE-K-SWAP and the memory of TWO-K-SWAP on a PLRG.
+//
+//   * Lemma 3 : ds, the largest degree that still contributes to 1-k
+//     swaps with probability 1 - o(1/|V|); ds = O(log |V|).
+//   * Eq. 13  : |A_i|, the expected number of degree-i vertices in state A
+//     (exactly one IS neighbor) after greedy.
+//   * Eq. 14  : the bins-and-balls probability that a fixed IS vertex
+//     ("bin" of capacity d) attracts at least one type-1 and one type-2
+//     ball, with balls spread over n bins.
+//   * Eq. 15 / Prop. 5: T(x, y, i) and the total swap gain SG.
+//   * Lemma 6 : d2k and the bound on the number of vertices SC can hold.
+//
+// Binomials with fractional arguments are evaluated through lgamma; all
+// probabilities are clamped into [0, 1] (the paper's formulas are
+// asymptotic and can exceed 1 at the small-degree boundary).
+#ifndef SEMIS_THEORY_SWAP_ESTIMATE_H_
+#define SEMIS_THEORY_SWAP_ESTIMATE_H_
+
+#include <cstdint>
+
+#include "theory/plrg_model.h"
+
+namespace semis {
+
+/// c(alpha, beta) = sum_i i * GR_i / e^alpha: the fraction of vertex
+/// copies owned by greedy-selected vertices (appendix, Lemma 3).
+double CopyFractionC(const PlrgModel& model);
+
+/// Lemma 3: the maximal degree ds contributing to 1-k swaps whp.
+double SwapDegreeLimit(const PlrgModel& model);
+
+/// Eq. 13: expected number of degree-i vertices with state A.
+double ExpectedAdjacentAtDegree(const PlrgModel& model, uint64_t i);
+
+/// Eq. 14: bins-and-balls probability with m1 type-1 balls, m2 type-2
+/// balls, n bins, bin capacity d (continuous extension via lgamma).
+double BinsAndBallsProbability(double m1, double m2, double n, double d);
+
+/// Eq. 15: T(x, y, i) -- the expected number of 1-2 swaps that replace a
+/// degree-i IS vertex by partners of degrees x and y.
+double SwapCountT(const PlrgModel& model, uint64_t x, uint64_t y, uint64_t i);
+
+/// Proposition 5: SG(alpha, beta), the expected one-round gain of
+/// ONE-K-SWAP over the greedy set.
+double OneKSwapExpectedGain(const PlrgModel& model);
+
+/// Lemma 6: d2k, the maximal degree of vertices that can appear in SC.
+double TwoKSwapDegreeLimit(const PlrgModel& model);
+
+/// Lemma 6: upper bound on the number of vertices held in SC sets
+/// (|V| - e^alpha).
+double ScVertexBound(const PlrgModel& model);
+
+}  // namespace semis
+
+#endif  // SEMIS_THEORY_SWAP_ESTIMATE_H_

@@ -1,0 +1,29 @@
+#include "theory/zeta.h"
+
+#include <cmath>
+
+namespace semis {
+
+double GeneralizedHarmonic(double x, uint64_t y) {
+  if (y == 0) return 0.0;
+  constexpr uint64_t kExactLimit = 50000000;
+  const uint64_t head = y < kExactLimit ? y : kExactLimit;
+  double sum = 0.0;
+  // Sum smallest terms first to limit floating-point error.
+  for (uint64_t i = head; i >= 1; --i) {
+    sum += std::pow(static_cast<double>(i), -x);
+  }
+  if (y > head) {
+    // Integral tail: int_{head+1/2}^{y+1/2} t^-x dt.
+    const double a = static_cast<double>(head) + 0.5;
+    const double b = static_cast<double>(y) + 0.5;
+    if (std::fabs(x - 1.0) < 1e-12) {
+      sum += std::log(b / a);
+    } else {
+      sum += (std::pow(b, 1.0 - x) - std::pow(a, 1.0 - x)) / (1.0 - x);
+    }
+  }
+  return sum;
+}
+
+}  // namespace semis

@@ -1,0 +1,20 @@
+// Copyright (c) the semis authors.
+// Generalized harmonic numbers: zeta(x, y) = sum_{i=1..y} i^(-x), the
+// building block of every PLRG formula in the paper (Equation 2 and the
+// appendix proofs).
+#ifndef SEMIS_THEORY_ZETA_H_
+#define SEMIS_THEORY_ZETA_H_
+
+#include <cstdint>
+
+namespace semis {
+
+/// Computes zeta(x, y) = sum_{i=1}^{y} i^(-x). Exact summation for
+/// moderate y; for very large y (> 5e7) the tail is approximated with the
+/// Euler-Maclaurin integral term, which is accurate to ~1e-9 in the
+/// parameter ranges the paper uses.
+double GeneralizedHarmonic(double x, uint64_t y);
+
+}  // namespace semis
+
+#endif  // SEMIS_THEORY_ZETA_H_

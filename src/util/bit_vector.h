@@ -1,0 +1,63 @@
+// Copyright (c) the semis authors.
+// Compact bit set used to return independent sets without spending a byte
+// per vertex.
+#ifndef SEMIS_UTIL_BIT_VECTOR_H_
+#define SEMIS_UTIL_BIT_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace semis {
+
+/// Fixed-size bit vector with O(1) test/set and popcount-based counting.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a bit vector of `n` bits, all clear.
+  explicit BitVector(size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  /// Number of bits.
+  size_t size() const { return n_; }
+
+  /// Resizes to `n` bits; new bits are clear.
+  void Resize(size_t n) {
+    n_ = n;
+    words_.assign((n + 63) / 64, 0);
+  }
+
+  /// Sets bit `i`.
+  void Set(size_t i) { words_[i >> 6] |= (1ull << (i & 63)); }
+
+  /// Clears bit `i`.
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ull << (i & 63)); }
+
+  /// Tests bit `i`.
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ull;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Clears all bits.
+  void Reset() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Bytes of heap storage (for MemoryTracker accounting).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_UTIL_BIT_VECTOR_H_

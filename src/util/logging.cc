@@ -1,0 +1,39 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace semis {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[semis %s] ", LevelTag(level));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace semis

@@ -1,0 +1,27 @@
+// Copyright (c) the semis authors.
+// Minimal leveled logger for library diagnostics. Kept printf-flavoured so
+// hot paths never pay for formatting when the level is filtered out.
+#ifndef SEMIS_UTIL_LOGGING_H_
+#define SEMIS_UTIL_LOGGING_H_
+
+#include <cstdarg>
+
+namespace semis {
+
+/// Severity levels, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarn so
+/// library consumers see problems but not chatter. Benches raise to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Current threshold.
+LogLevel GetLogLevel();
+
+/// printf-style log statement to stderr, prefixed with the level tag.
+void Logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace semis
+
+#endif  // SEMIS_UTIL_LOGGING_H_

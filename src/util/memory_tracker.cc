@@ -1,0 +1,63 @@
+#include "util/memory_tracker.h"
+
+#include <cstdio>
+
+namespace semis {
+
+void MemoryTracker::Add(const std::string& category, size_t bytes) {
+  Entry& e = categories_[category];
+  e.current += bytes;
+  if (e.current > e.peak) e.peak = e.current;
+  current_ += bytes;
+  if (current_ > peak_) peak_ = current_;
+}
+
+void MemoryTracker::Sub(const std::string& category, size_t bytes) {
+  Entry& e = categories_[category];
+  size_t delta = bytes > e.current ? e.current : bytes;
+  e.current -= delta;
+  current_ -= delta;
+}
+
+void MemoryTracker::Set(const std::string& category, size_t bytes) {
+  Entry& e = categories_[category];
+  if (bytes >= e.current) {
+    Add(category, bytes - e.current);
+  } else {
+    Sub(category, e.current - bytes);
+  }
+}
+
+size_t MemoryTracker::CategoryBytes(const std::string& category) const {
+  auto it = categories_.find(category);
+  return it == categories_.end() ? 0 : it->second.current;
+}
+
+size_t MemoryTracker::CategoryPeakBytes(const std::string& category) const {
+  auto it = categories_.find(category);
+  return it == categories_.end() ? 0 : it->second.peak;
+}
+
+std::vector<std::string> MemoryTracker::Categories() const {
+  std::vector<std::string> names;
+  names.reserve(categories_.size());
+  for (const auto& kv : categories_) names.push_back(kv.first);
+  return names;
+}
+
+std::string MemoryTracker::FormatBytes(size_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", b / (1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", b / (1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", b / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace semis

@@ -1,0 +1,36 @@
+#include "util/status.h"
+
+namespace semis {
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      name = "OK";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+  }
+  std::string out = name;
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace semis

@@ -1,0 +1,87 @@
+// Copyright (c) the semis authors.
+// LevelDB/RocksDB-style Status object: cheap success path, descriptive
+// error path, no exceptions on hot code paths.
+#ifndef SEMIS_UTIL_STATUS_H_
+#define SEMIS_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace semis {
+
+/// Outcome of an operation that can fail. Follows the database-engine
+/// convention (LevelDB/RocksDB): functions return a `Status` instead of
+/// throwing; callers test `ok()` and propagate.
+class Status {
+ public:
+  /// Error category. Kept deliberately small; the message carries detail.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kIOError,
+    kCorruption,
+    kNotFound,
+    kNotSupported,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with message `msg`.
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  /// Returns an IOError status with message `msg`.
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  /// Returns a Corruption status with message `msg`.
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  /// Returns a NotFound status with message `msg`.
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  /// Returns a NotSupported status with message `msg`.
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+  /// True iff this is an IOError.
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  /// True iff this is a Corruption error.
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  /// True iff this is an InvalidArgument error.
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  /// True iff this is a NotFound error.
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+
+  /// Error category of this status.
+  Code code() const { return code_; }
+  /// Human-readable message ("" when OK).
+  const std::string& message() const { return msg_; }
+  /// Renders "OK" or "<category>: <message>" for logs and test output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK status to the caller. Mirrors RocksDB's pattern.
+#define SEMIS_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::semis::Status _semis_status = (expr);         \
+    if (!_semis_status.ok()) return _semis_status;  \
+  } while (0)
+
+}  // namespace semis
+
+#endif  // SEMIS_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+// Copyright (c) the semis authors.
+// Wall-clock timing helpers for the benchmark harness and algorithm stats.
+#ifndef SEMIS_UTIL_TIMER_H_
+#define SEMIS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace semis {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_UTIL_TIMER_H_

@@ -1,0 +1,83 @@
+#include "baselines/dynamic_update.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact.h"
+#include "core/verify.h"
+#include "gen/generators.h"
+#include "gen/plrg.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+TEST(DynamicUpdateTest, PathPicksEndpointsFirst) {
+  // 0-1-2: endpoints have degree 1 and are selected; optimal size 2.
+  Graph g = GeneratePath(3);
+  AlgoResult res;
+  ASSERT_OK(RunDynamicUpdate(g, &res));
+  EXPECT_EQ(res.set_size, 2u);
+  EXPECT_TRUE(res.in_set.Test(0));
+  EXPECT_TRUE(res.in_set.Test(2));
+}
+
+TEST(DynamicUpdateTest, StarPicksLeaves) {
+  Graph g = GenerateStar(30);
+  AlgoResult res;
+  ASSERT_OK(RunDynamicUpdate(g, &res));
+  EXPECT_EQ(res.set_size, 29u);
+  EXPECT_FALSE(res.in_set.Test(0));
+}
+
+TEST(DynamicUpdateTest, AlwaysValidMaximalSet) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = GenerateErdosRenyi(300, 900 + seed * 50, seed);
+    AlgoResult res;
+    ASSERT_OK(RunDynamicUpdate(g, &res));
+    VerifyResult vr = VerifyIndependentSet(g, res.in_set);
+    EXPECT_TRUE(vr.independent) << "seed " << seed;
+    EXPECT_TRUE(vr.maximal) << "seed " << seed;
+  }
+}
+
+TEST(DynamicUpdateTest, NearOptimalOnTinyGraphs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = GenerateErdosRenyi(18, 40, seed);
+    AlgoResult res;
+    ASSERT_OK(RunDynamicUpdate(g, &res));
+    ExactResult exact;
+    ASSERT_OK(ExactMaxIndependentSet(g, &exact));
+    EXPECT_LE(res.set_size, exact.alpha);
+    // Min-degree greedy is a strong heuristic on sparse graphs.
+    EXPECT_GE(res.set_size + 2, exact.alpha) << "seed " << seed;
+  }
+}
+
+TEST(DynamicUpdateTest, DegreeUpdatesMatter) {
+  // Caterpillar: with dynamic updates the greedy picks all legs then the
+  // isolated-by-removal spine alternation; quality >= static greedy.
+  Graph g = GenerateCaterpillar(10, 2);
+  AlgoResult res;
+  ASSERT_OK(RunDynamicUpdate(g, &res));
+  EXPECT_GE(res.set_size, 20u);  // all legs at minimum
+}
+
+TEST(DynamicUpdateTest, MemoryIncludesGraph) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(20000, 2.0), 3);
+  AlgoResult res;
+  ASSERT_OK(RunDynamicUpdate(g, &res));
+  // The in-memory baseline must account the CSR arrays -- that is the
+  // paper's Table 6 comparison point.
+  EXPECT_GE(res.peak_memory_bytes, g.MemoryBytes());
+}
+
+TEST(DynamicUpdateTest, EmptyAndEdgelessGraphs) {
+  AlgoResult res;
+  ASSERT_OK(RunDynamicUpdate(Graph::FromEdges(0, {}), &res));
+  EXPECT_EQ(res.set_size, 0u);
+  ASSERT_OK(RunDynamicUpdate(Graph::FromEdges(5, {}), &res));
+  EXPECT_EQ(res.set_size, 5u);
+}
+
+}  // namespace
+}  // namespace semis

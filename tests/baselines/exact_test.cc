@@ -1,0 +1,79 @@
+#include "baselines/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::BruteForceAlpha;
+
+uint64_t Alpha(const Graph& g) {
+  ExactResult res;
+  Status s = ExactMaxIndependentSet(g, &res);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return res.alpha;
+}
+
+TEST(ExactTest, KnownFamilies) {
+  EXPECT_EQ(Alpha(GenerateComplete(7)), 1u);
+  EXPECT_EQ(Alpha(GenerateStar(12)), 11u);
+  EXPECT_EQ(Alpha(GeneratePath(9)), 5u);    // ceil(9/2)
+  EXPECT_EQ(Alpha(GeneratePath(10)), 5u);   // ceil(10/2)
+  EXPECT_EQ(Alpha(GenerateCycle(9)), 4u);   // floor(9/2)
+  EXPECT_EQ(Alpha(GenerateCycle(10)), 5u);
+  EXPECT_EQ(Alpha(GenerateCompleteBipartite(4, 9)), 9u);
+  EXPECT_EQ(Alpha(GenerateTriangles(6)), 6u);
+  EXPECT_EQ(Alpha(Graph::FromEdges(13, {})), 13u);
+  EXPECT_EQ(Alpha(Graph::FromEdges(0, {})), 0u);
+}
+
+TEST(ExactTest, CascadeSwapAlphaIsTwoThirds) {
+  // Each triple contributes {b_i, c_i}: alpha = 2k.
+  EXPECT_EQ(Alpha(GenerateCascadeSwap(5)), 10u);
+}
+
+TEST(ExactTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Graph g = GenerateErdosRenyi(15, 25 + seed * 2, seed);
+    EXPECT_EQ(Alpha(g), BruteForceAlpha(g)) << "seed " << seed;
+  }
+}
+
+TEST(ExactTest, WitnessIsAValidSetOfReportedSize) {
+  Graph g = GenerateErdosRenyi(20, 60, 9);
+  ExactResult res;
+  ASSERT_OK(ExactMaxIndependentSet(g, &res));
+  EXPECT_EQ(res.witness.size(), res.alpha);
+  for (size_t i = 0; i < res.witness.size(); ++i) {
+    for (size_t j = i + 1; j < res.witness.size(); ++j) {
+      EXPECT_FALSE(g.HasEdge(res.witness[i], res.witness[j]));
+    }
+  }
+}
+
+TEST(ExactTest, RejectsLargeGraphs) {
+  Graph g = GeneratePath(65);
+  ExactResult res;
+  EXPECT_TRUE(ExactMaxIndependentSet(g, &res).IsInvalidArgument());
+}
+
+TEST(ExactTest, PruningExploresFewNodes) {
+  // Sanity on the bound: the complete graph should be nearly free.
+  Graph g = GenerateComplete(20);
+  ExactResult res;
+  ASSERT_OK(ExactMaxIndependentSet(g, &res));
+  EXPECT_LT(res.nodes_explored, 100u);
+}
+
+TEST(ExactTest, SixtyFourVertexBoundary) {
+  Graph g = GeneratePath(64);
+  ExactResult res;
+  ASSERT_OK(ExactMaxIndependentSet(g, &res));
+  EXPECT_EQ(res.alpha, 32u);
+}
+
+}  // namespace
+}  // namespace semis

@@ -1,0 +1,92 @@
+#include "baselines/time_forward.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verify.h"
+#include "gen/generators.h"
+#include "gen/plrg.h"
+#include "graph/degree_sort.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+using testing_util::WriteGraphFile;
+
+class TimeForwardTest : public ScratchTest {};
+
+// Reference: the lexicographically-first maximal IS (greedy in id order).
+BitVector LexFirstMis(const Graph& g) {
+  BitVector set(g.NumVertices());
+  std::vector<uint8_t> blocked(g.NumVertices(), 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (blocked[v]) continue;
+    set.Set(v);
+    for (VertexId u : g.Neighbors(v)) blocked[u] = 1;
+  }
+  return set;
+}
+
+TEST_F(TimeForwardTest, MatchesLexicographicReference) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = GenerateErdosRenyi(400, 1200, seed);
+    std::string path = WriteGraphFile(&scratch_, g);
+    AlgoResult res;
+    ASSERT_OK(RunTimeForwardMIS(path, {}, &res));
+    BitVector ref = LexFirstMis(g);
+    ASSERT_EQ(res.set_size, ref.Count()) << "seed " << seed;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(res.in_set.Test(v), ref.Test(v)) << "seed " << seed
+                                                 << " vertex " << v;
+    }
+  }
+}
+
+TEST_F(TimeForwardTest, ResultIsMaximalIndependentSet) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(5000, 2.0), 3);
+  std::string path = WriteGraphFile(&scratch_, g);
+  AlgoResult res;
+  ASSERT_OK(RunTimeForwardMIS(path, {}, &res));
+  VerifyResult vr = VerifyIndependentSet(g, res.in_set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_TRUE(vr.maximal);
+}
+
+TEST_F(TimeForwardTest, TinyQueueBudgetForcesSpillsSameResult) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(3000, 1.9), 4);
+  std::string path = WriteGraphFile(&scratch_, g);
+  TimeForwardOptions big, tiny;
+  tiny.pq_memory_entries = 64;
+  AlgoResult a, b;
+  ASSERT_OK(RunTimeForwardMIS(path, big, &a));
+  ASSERT_OK(RunTimeForwardMIS(path, tiny, &b));
+  EXPECT_EQ(a.set_size, b.set_size);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(a.in_set.Test(v), b.in_set.Test(v));
+  }
+}
+
+TEST_F(TimeForwardTest, RejectsPermutedRecordOrder) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(1000, 2.0), 5);
+  std::string unsorted = WriteGraphFile(&scratch_, g);
+  std::string sorted = NewPath("sorted");
+  ASSERT_OK(BuildDegreeSortedAdjacencyFile(unsorted, sorted, {}));
+  AlgoResult res;
+  Status s = RunTimeForwardMIS(sorted, {}, &res);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST_F(TimeForwardTest, QualityTrailsDegreeAwareAlgorithms) {
+  // The point of the paper's Table 5: the external baseline cannot use
+  // degree information, so it loses to GREEDY on power-law graphs.
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(20000, 2.0), 6);
+  std::string unsorted = WriteGraphFile(&scratch_, g);
+  AlgoResult tf;
+  ASSERT_OK(RunTimeForwardMIS(unsorted, {}, &tf));
+  BitVector ref = LexFirstMis(g);
+  EXPECT_EQ(tf.set_size, ref.Count());
+}
+
+}  // namespace
+}  // namespace semis

@@ -1,0 +1,54 @@
+#include "core/mis_common.h"
+
+#include <gtest/gtest.h>
+
+namespace semis {
+namespace {
+
+TEST(MisCommonTest, StateTagsMatchTable3) {
+  // Table 3's notation: I, N, A, C, P, R (plus our INITIAL as '0').
+  EXPECT_EQ(VStateChar(VState::kInitial), '0');
+  EXPECT_EQ(VStateChar(VState::kI), 'I');
+  EXPECT_EQ(VStateChar(VState::kN), 'N');
+  EXPECT_EQ(VStateChar(VState::kA), 'A');
+  EXPECT_EQ(VStateChar(VState::kP), 'P');
+  EXPECT_EQ(VStateChar(VState::kC), 'C');
+  EXPECT_EQ(VStateChar(VState::kR), 'R');
+}
+
+TEST(MisCommonTest, StatesToStringRendersInOrder) {
+  std::vector<VState> states = {VState::kI, VState::kN, VState::kA,
+                                VState::kP, VState::kC, VState::kR};
+  EXPECT_EQ(StatesToString(states), "INAPCR");
+}
+
+TEST(MisCommonTest, ExtractIndependentSetCountsOnlyI) {
+  std::vector<VState> states = {VState::kI, VState::kN, VState::kI,
+                                VState::kA, VState::kP};
+  BitVector set;
+  uint64_t size = 0;
+  ExtractIndependentSet(states, &set, &size);
+  EXPECT_EQ(size, 2u);
+  EXPECT_TRUE(set.Test(0));
+  EXPECT_FALSE(set.Test(1));
+  EXPECT_TRUE(set.Test(2));
+  EXPECT_FALSE(set.Test(3));
+  EXPECT_FALSE(set.Test(4));  // P is not yet committed
+}
+
+TEST(MisCommonTest, RoundStatsDefaultsToZero) {
+  RoundStats r;
+  EXPECT_EQ(r.one_k_swaps + r.two_k_swaps + r.zero_one_swaps + r.conflicts +
+                r.denied_promotions + r.new_is_vertices +
+                r.removed_is_vertices + r.follower_joins,
+            0u);
+}
+
+TEST(MisCommonTest, VStateFitsInOneByte) {
+  // The semi-external memory argument (1 byte/vertex for greedy) depends
+  // on this.
+  EXPECT_EQ(sizeof(VState), 1u);
+}
+
+}  // namespace
+}  // namespace semis

@@ -1,0 +1,148 @@
+// Parameterized property sweep: every algorithm, over a grid of graph
+// families and seeds, must satisfy the core invariants:
+//   1. output is an independent set,
+//   2. output is maximal,
+//   3. sizes are ordered: initial <= after-swap <= Algorithm 5 bound,
+//   4. on tiny graphs, everything is <= the exact independence number,
+//   5. the set bit count equals the reported size.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/dynamic_update.h"
+#include "baselines/exact.h"
+#include "core/greedy.h"
+#include "core/one_k_swap.h"
+#include "core/two_k_swap.h"
+#include "core/upper_bound.h"
+#include "core/verify.h"
+#include "gen/generators.h"
+#include "gen/plrg.h"
+#include "graph/degree_sort.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+using testing_util::WriteGraphFile;
+
+struct PropertyCase {
+  const char* family;
+  VertexId size_knob;
+  uint64_t seed;
+};
+
+void PrintTo(const PropertyCase& c, std::ostream* os) {
+  *os << c.family << "/n" << c.size_knob << "/s" << c.seed;
+}
+
+Graph MakeGraph(const PropertyCase& c) {
+  std::string family = c.family;
+  if (family == "er_sparse") {
+    return GenerateErdosRenyi(c.size_knob, c.size_knob * 2, c.seed);
+  }
+  if (family == "er_dense") {
+    return GenerateErdosRenyi(c.size_knob, c.size_knob * 8, c.seed);
+  }
+  if (family == "plrg20") {
+    return GeneratePlrg(PlrgSpec::ForVertexCount(c.size_knob, 2.0), c.seed);
+  }
+  if (family == "plrg27") {
+    return GeneratePlrg(PlrgSpec::ForVertexCount(c.size_knob, 2.7), c.seed);
+  }
+  if (family == "plrg17") {
+    return GeneratePlrg(PlrgSpec::ForVertexCount(c.size_knob, 1.7), c.seed);
+  }
+  if (family == "gnp") return GenerateGnp(c.size_knob, 0.1, c.seed);
+  if (family == "bipartite") {
+    return GenerateCompleteBipartite(c.size_knob / 3,
+                                     c.size_knob - c.size_knob / 3);
+  }
+  if (family == "path") return GeneratePath(c.size_knob);
+  if (family == "cycle") return GenerateCycle(c.size_knob);
+  if (family == "star") return GenerateStar(c.size_knob);
+  if (family == "caterpillar") return GenerateCaterpillar(c.size_knob / 4, 3);
+  if (family == "cascade") return GenerateCascadeSwap(c.size_knob / 3);
+  if (family == "triangles") return GenerateTriangles(c.size_knob / 3);
+  ADD_FAILURE() << "unknown family " << family;
+  return Graph();
+}
+
+class MisPropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(ScratchDir::Create("semis-prop", &scratch_));
+  }
+  ScratchDir scratch_;
+};
+
+TEST_P(MisPropertyTest, AllInvariantsHold) {
+  const PropertyCase& c = GetParam();
+  Graph g = MakeGraph(c);
+  std::string unsorted = WriteGraphFile(&scratch_, g);
+  std::string sorted = scratch_.NewFilePath("sorted");
+  ASSERT_OK(BuildDegreeSortedAdjacencyFile(unsorted, sorted, {}));
+
+  const uint64_t upper = ComputeIndependenceUpperBound(g);
+  uint64_t exact_alpha = 0;
+  const bool tiny = g.NumVertices() <= 24 && g.NumVertices() > 0;
+  if (tiny) exact_alpha = testing_util::BruteForceAlpha(g);
+
+  auto check = [&](const char* label, const AlgoResult& res,
+                   uint64_t floor_size) {
+    SCOPED_TRACE(label);
+    VerifyResult vr = VerifyIndependentSet(g, res.in_set);
+    EXPECT_TRUE(vr.independent)
+        << "edge " << vr.witness_u << "-" << vr.witness_v;
+    EXPECT_TRUE(vr.maximal) << "addable " << vr.witness_u;
+    EXPECT_EQ(res.in_set.Count(), res.set_size);
+    EXPECT_GE(res.set_size, floor_size);
+    EXPECT_LE(res.set_size, upper);
+    if (tiny) EXPECT_LE(res.set_size, exact_alpha);
+  };
+
+  AlgoResult baseline, greedy;
+  ASSERT_OK(RunGreedy(unsorted, {}, &baseline));
+  ASSERT_OK(RunGreedy(sorted, {}, &greedy));
+  check("baseline", baseline, 0);
+  check("greedy", greedy, 0);
+
+  AlgoResult one_k, two_k;
+  ASSERT_OK(RunOneKSwap(sorted, greedy.in_set, {}, &one_k));
+  ASSERT_OK(RunTwoKSwap(sorted, greedy.in_set, {}, &two_k));
+  check("one-k(greedy)", one_k, greedy.set_size);
+  check("two-k(greedy)", two_k, greedy.set_size);
+
+  AlgoResult one_kb, two_kb;
+  ASSERT_OK(RunOneKSwap(unsorted, baseline.in_set, {}, &one_kb));
+  ASSERT_OK(RunTwoKSwap(unsorted, baseline.in_set, {}, &two_kb));
+  check("one-k(baseline)", one_kb, baseline.set_size);
+  check("two-k(baseline)", two_kb, baseline.set_size);
+
+  AlgoResult dynamic;
+  ASSERT_OK(RunDynamicUpdate(g, &dynamic));
+  check("dynamic-update", dynamic, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MisPropertyTest,
+    ::testing::Values(
+        PropertyCase{"er_sparse", 20, 1}, PropertyCase{"er_sparse", 20, 2},
+        PropertyCase{"er_sparse", 200, 3}, PropertyCase{"er_sparse", 200, 4},
+        PropertyCase{"er_dense", 20, 1}, PropertyCase{"er_dense", 200, 2},
+        PropertyCase{"er_dense", 200, 3}, PropertyCase{"plrg20", 500, 1},
+        PropertyCase{"plrg20", 2000, 2}, PropertyCase{"plrg20", 2000, 3},
+        PropertyCase{"plrg27", 2000, 4}, PropertyCase{"plrg27", 500, 5},
+        PropertyCase{"path", 17, 0}, PropertyCase{"path", 400, 0},
+        PropertyCase{"cycle", 18, 0}, PropertyCase{"cycle", 401, 0},
+        PropertyCase{"star", 21, 0}, PropertyCase{"star", 300, 0},
+        PropertyCase{"caterpillar", 80, 0},
+        PropertyCase{"cascade", 21, 0}, PropertyCase{"cascade", 90, 0},
+        PropertyCase{"triangles", 21, 0}, PropertyCase{"triangles", 120, 0},
+        PropertyCase{"plrg17", 1000, 6}, PropertyCase{"plrg17", 3000, 7},
+        PropertyCase{"gnp", 20, 8}, PropertyCase{"gnp", 120, 9},
+        PropertyCase{"bipartite", 18, 0}, PropertyCase{"bipartite", 90, 0}));
+
+}  // namespace
+}  // namespace semis

@@ -1,0 +1,132 @@
+#include "core/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verify.h"
+#include "gen/generators.h"
+#include "gen/plrg.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+using testing_util::WriteGraphFile;
+
+class SolverTest : public ScratchTest {};
+
+TEST_F(SolverTest, FullPipelineOnPowerLawGraph) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(20000, 2.0), 8);
+  std::string path = WriteGraphFile(&scratch_, g);
+  SolverOptions opts;
+  opts.verify = true;  // paranoid self-check must pass
+  Solver solver(opts);
+  SolveResult res;
+  ASSERT_OK(solver.SolveFile(path, &res));
+  EXPECT_GT(res.set_size, 0u);
+  EXPECT_EQ(res.set.Count(), res.set_size);
+  EXPECT_GE(res.set_size, res.greedy.set_size);
+  EXPECT_GT(res.sort_seconds, 0.0);  // input was unsorted
+  VerifyResult vr = VerifyIndependentSet(g, res.set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_TRUE(vr.maximal);
+}
+
+TEST_F(SolverTest, SwapModesOrdering) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(10000, 2.0), 9);
+  std::string path = WriteGraphFile(&scratch_, g);
+  auto run = [&](SwapMode mode) {
+    SolverOptions opts;
+    opts.swap = mode;
+    Solver solver(opts);
+    SolveResult res;
+    Status s = solver.SolveFile(path, &res);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return res.set_size;
+  };
+  uint64_t none = run(SwapMode::kNone);
+  uint64_t one_k = run(SwapMode::kOneK);
+  uint64_t two_k = run(SwapMode::kTwoK);
+  EXPECT_GE(one_k, none);
+  EXPECT_GE(two_k, none);
+  // two-k subsumes one-k swaps; allow 1% noise from order effects.
+  EXPECT_GE(two_k + two_k / 100, one_k);
+}
+
+TEST_F(SolverTest, BaselineModeSkipsSorting) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(5000, 2.0), 10);
+  std::string path = WriteGraphFile(&scratch_, g);
+  SolverOptions opts;
+  opts.degree_sort = false;
+  opts.swap = SwapMode::kNone;
+  Solver solver(opts);
+  SolveResult res;
+  ASSERT_OK(solver.SolveFile(path, &res));
+  EXPECT_EQ(res.sort_seconds, 0.0);
+  EXPECT_EQ(res.io.sort_passes, 0u);
+}
+
+TEST_F(SolverTest, AlreadySortedInputNotResorted) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(5000, 2.0), 11);
+  std::string path = WriteGraphFile(&scratch_, g);
+  SolverOptions opts;
+  Solver solver(opts);
+  SolveResult first;
+  ASSERT_OK(solver.SolveFile(path, &first));
+  EXPECT_GT(first.sort_seconds, 0.0);
+
+  // Solve once with a persistent scratch dir to keep the sorted artifact,
+  // then feed that artifact back: its header flag must suppress the sort.
+  SolverOptions keep;
+  keep.scratch_dir = scratch_.path();
+  Solver solver2(keep);
+  SolveResult res2;
+  ASSERT_OK(solver2.SolveFile(path, &res2));
+  SolveResult res3;
+  ASSERT_OK(solver2.SolveFile(scratch_.path() + "/sorted.sadj", &res3));
+  EXPECT_EQ(res3.sort_seconds, 0.0);  // header says degree-sorted
+  EXPECT_EQ(res3.set_size, res2.set_size);
+}
+
+TEST_F(SolverTest, SolveGraphConvenience) {
+  Graph g = GenerateErdosRenyi(500, 1500, 12);
+  Solver solver(SolverOptions{});
+  SolveResult res;
+  ASSERT_OK(solver.SolveGraph(g, &res));
+  VerifyResult vr = VerifyIndependentSet(g, res.set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_TRUE(vr.maximal);
+}
+
+TEST_F(SolverTest, MissingFileSurfacesError) {
+  Solver solver(SolverOptions{});
+  SolveResult res;
+  Status s = solver.SolveFile(NewPath("nope"), &res);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(SolverTest, EarlyStopOptionPropagates) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(10000, 1.9), 13);
+  std::string path = WriteGraphFile(&scratch_, g);
+  SolverOptions opts;
+  opts.max_swap_rounds = 1;
+  Solver solver(opts);
+  SolveResult res;
+  ASSERT_OK(solver.SolveFile(path, &res));
+  EXPECT_LE(res.swap.rounds, 1u);
+}
+
+TEST_F(SolverTest, AggregatedIoCoversAllStages) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(5000, 2.0), 14);
+  std::string path = WriteGraphFile(&scratch_, g);
+  Solver solver(SolverOptions{});
+  SolveResult res;
+  ASSERT_OK(solver.SolveFile(path, &res));
+  EXPECT_GE(res.io.sequential_scans,
+            res.greedy.io.sequential_scans + res.swap.io.sequential_scans);
+  EXPECT_GT(res.io.bytes_read, 0u);
+  EXPECT_GT(res.peak_memory_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace semis

@@ -1,0 +1,155 @@
+// Verifies that every state transition performed by the swap algorithms
+// is a legal edge of the paper's Figure 3 state-transition diagram,
+// per phase, on randomized inputs. Uses the PhaseObserver hook.
+//
+// Legal transitions by phase:
+//   pre-swap  : A -> {A,C,P}, I -> {I,R}; N, C, R unchanged
+//               (C/R do not exist entering a round; kept strict below)
+//   swap      : P -> I (one-k) or P -> {I,C} (two-k, denial), R -> N;
+//               everything else unchanged
+//   post-swap : N -> {N,A,I}, C -> {C? no: A,N}, A -> {A,N}; I unchanged
+//   completion: any non-I may become I; nothing else changes
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/one_k_swap.h"
+#include "core/two_k_swap.h"
+#include "gen/generators.h"
+#include "gen/plrg.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::RandomMaximalSet;
+using testing_util::ScratchTest;
+using testing_util::WriteGraphFile;
+
+class StateMachineTest : public ScratchTest {};
+
+// Transition-legality oracle: phase -> (from -> allowed set of to).
+bool Allowed(const std::string& phase, VState from, VState to, bool two_k) {
+  if (from == to) {
+    // Self-transitions are always fine except that P and R must be
+    // consumed by the swap phase that follows their creation.
+    if (phase == "swap" && (from == VState::kP || from == VState::kR)) {
+      return false;
+    }
+    return true;
+  }
+  auto is = [&](VState a, VState b) { return from == a && to == b; };
+  if (phase == "pre-swap") {
+    return is(VState::kA, VState::kC) || is(VState::kA, VState::kP) ||
+           is(VState::kI, VState::kR);
+  }
+  if (phase == "swap") {
+    if (is(VState::kP, VState::kI) || is(VState::kR, VState::kN)) return true;
+    if (two_k && is(VState::kP, VState::kC)) return true;  // denied race
+    return false;
+  }
+  if (phase == "post-swap") {
+    return is(VState::kN, VState::kA) || is(VState::kN, VState::kI) ||
+           is(VState::kC, VState::kA) || is(VState::kC, VState::kN) ||
+           is(VState::kA, VState::kN);
+  }
+  if (phase == "completion") {
+    return to == VState::kI;
+  }
+  return false;
+}
+
+// Runs an algorithm with the observer attached and records every illegal
+// transition.
+template <typename Options, typename RunFn>
+std::vector<std::string> CollectViolations(const std::string& path,
+                                           const BitVector& initial,
+                                           bool two_k, RunFn run) {
+  std::vector<std::string> violations;
+  std::vector<VState> prev;
+  std::string prev_phase = "init";
+  Options opts;
+  opts.observer = [&](const char* phase, uint64_t round,
+                      const std::vector<VState>& states) {
+    if (!prev.empty()) {
+      // The snapshot pair (prev_phase -> phase) attributes transitions to
+      // the phase that just ran.
+      for (size_t v = 0; v < states.size(); ++v) {
+        if (!Allowed(phase, prev[v], states[v], two_k)) {
+          violations.push_back(std::string(prev_phase) + "->" + phase +
+                               " round " + std::to_string(round) +
+                               " vertex " + std::to_string(v) + ": " +
+                               VStateChar(prev[v]) + " -> " +
+                               VStateChar(states[v]));
+        }
+      }
+    }
+    prev = states;
+    prev_phase = phase;
+  };
+  AlgoResult res;
+  Status s = run(path, initial, opts, &res);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return violations;
+}
+
+TEST_F(StateMachineTest, OneKSwapFollowsFigure3) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = GenerateErdosRenyi(150, 400, seed);
+    std::string path = WriteGraphFile(&scratch_, g);
+    BitVector initial = RandomMaximalSet(g, seed + 40);
+    auto violations = CollectViolations<OneKSwapOptions>(
+        path, initial, /*two_k=*/false, RunOneKSwap);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ", first: " << violations.front();
+  }
+}
+
+TEST_F(StateMachineTest, TwoKSwapFollowsFigure3) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = GenerateErdosRenyi(150, 400, seed);
+    std::string path = WriteGraphFile(&scratch_, g);
+    BitVector initial = RandomMaximalSet(g, seed + 80);
+    auto violations = CollectViolations<TwoKSwapOptions>(
+        path, initial, /*two_k=*/true, RunTwoKSwap);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ", first: " << violations.front();
+  }
+}
+
+TEST_F(StateMachineTest, PowerLawGraphsToo) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(2000, 2.0), 5);
+  std::string path = WriteGraphFile(&scratch_, g);
+  BitVector initial = RandomMaximalSet(g, 3);
+  auto one_k = CollectViolations<OneKSwapOptions>(path, initial, false,
+                                                  RunOneKSwap);
+  EXPECT_TRUE(one_k.empty()) << one_k.front();
+  auto two_k = CollectViolations<TwoKSwapOptions>(path, initial, true,
+                                                  RunTwoKSwap);
+  EXPECT_TRUE(two_k.empty()) << two_k.front();
+}
+
+TEST_F(StateMachineTest, ObserverSeesAllPhases) {
+  Graph g = GenerateCycle(20);
+  std::string path = WriteGraphFile(&scratch_, g);
+  BitVector initial = RandomMaximalSet(g, 1);
+  std::set<std::string> phases;
+  OneKSwapOptions opts;
+  opts.observer = [&](const char* phase, uint64_t, const std::vector<VState>&) {
+    phases.insert(phase);
+  };
+  AlgoResult res;
+  ASSERT_OK(RunOneKSwap(path, initial, opts, &res));
+  EXPECT_TRUE(phases.count("init"));
+  EXPECT_TRUE(phases.count("pre-swap"));
+  EXPECT_TRUE(phases.count("swap"));
+  EXPECT_TRUE(phases.count("post-swap"));
+  EXPECT_TRUE(phases.count("completion"));
+}
+
+}  // namespace
+}  // namespace semis

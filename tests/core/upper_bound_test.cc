@@ -1,0 +1,74 @@
+#include "core/upper_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact.h"
+#include "gen/generators.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::BruteForceAlpha;
+using testing_util::ScratchTest;
+using testing_util::WriteGraphFile;
+
+TEST(UpperBoundTest, KnownFamilies) {
+  // Star: one star covers everything; bound = n-1 = alpha.
+  EXPECT_EQ(ComputeIndependenceUpperBound(GenerateStar(10)), 9u);
+  // Edgeless: every vertex its own star, bound = n.
+  EXPECT_EQ(ComputeIndependenceUpperBound(Graph::FromEdges(6, {})), 6u);
+  // Triangles: each triangle is one star with 2 leaves; alpha = k, bound = 2k.
+  EXPECT_EQ(ComputeIndependenceUpperBound(GenerateTriangles(5)), 10u);
+  // Complete graph: one star with n-1 leaves; alpha = 1, bound = n-1.
+  EXPECT_EQ(ComputeIndependenceUpperBound(GenerateComplete(8)), 7u);
+}
+
+TEST(UpperBoundTest, NeverBelowExactAlpha) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Graph g = GenerateErdosRenyi(18, 30 + seed, seed);
+    ExactResult exact;
+    ASSERT_OK(ExactMaxIndependentSet(g, &exact));
+    uint64_t bound = ComputeIndependenceUpperBound(g);
+    EXPECT_GE(bound, exact.alpha) << "seed " << seed;
+    EXPECT_LE(bound, g.NumVertices());
+  }
+}
+
+TEST(UpperBoundTest, BoundAtMostVertexCount) {
+  Graph g = GenerateErdosRenyi(200, 50, 3);  // sparse: many isolated
+  uint64_t bound = ComputeIndependenceUpperBound(g);
+  EXPECT_LE(bound, 200u);
+  EXPECT_GE(bound, 150u);  // at least the isolated vertices
+}
+
+class UpperBoundFileTest : public ScratchTest {};
+
+TEST_F(UpperBoundFileTest, FileVariantMatchesScanOrderSemantics) {
+  // On an id-ordered file the scan order differs from the in-memory
+  // degree-ordered variant, so bounds may differ slightly -- but both
+  // must remain upper bounds.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = GenerateErdosRenyi(16, 28, seed);
+    std::string path = WriteGraphFile(&scratch_, g);
+    uint64_t file_bound = 0;
+    ASSERT_OK(ComputeIndependenceUpperBoundFile(path, &file_bound));
+    EXPECT_GE(file_bound, BruteForceAlpha(g));
+  }
+}
+
+TEST_F(UpperBoundFileTest, OneScanOnly) {
+  Graph g = GenerateErdosRenyi(500, 1500, 1);
+  std::string path = WriteGraphFile(&scratch_, g);
+  IoStats stats;
+  uint64_t bound = 0;
+  ASSERT_OK(ComputeIndependenceUpperBoundFile(path, &bound, &stats));
+  EXPECT_EQ(stats.sequential_scans, 1u);
+}
+
+TEST(UpperBoundTest, EmptyGraph) {
+  EXPECT_EQ(ComputeIndependenceUpperBound(Graph::FromEdges(0, {})), 0u);
+}
+
+}  // namespace
+}  // namespace semis

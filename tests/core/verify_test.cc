@@ -1,0 +1,87 @@
+#include "core/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+using testing_util::WriteGraphFile;
+
+class VerifyTest : public ScratchTest {};
+
+TEST_F(VerifyTest, AcceptsValidMaximalSet) {
+  Graph g = GeneratePath(5);  // 0-1-2-3-4
+  BitVector set(5);
+  set.Set(0);
+  set.Set(2);
+  set.Set(4);
+  VerifyResult vr = VerifyIndependentSet(g, set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_TRUE(vr.maximal);
+}
+
+TEST_F(VerifyTest, DetectsEdgeInsideSet) {
+  Graph g = GeneratePath(5);
+  BitVector set(5);
+  set.Set(0);
+  set.Set(1);  // adjacent!
+  VerifyResult vr = VerifyIndependentSet(g, set);
+  EXPECT_FALSE(vr.independent);
+  EXPECT_TRUE((vr.witness_u == 0 && vr.witness_v == 1) ||
+              (vr.witness_u == 1 && vr.witness_v == 0));
+}
+
+TEST_F(VerifyTest, DetectsNonMaximality) {
+  Graph g = GeneratePath(5);
+  BitVector set(5);
+  set.Set(0);  // vertices 2,3,4 untouched; 3 is addable
+  VerifyResult vr = VerifyIndependentSet(g, set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_FALSE(vr.maximal);
+}
+
+TEST_F(VerifyTest, EmptySetOnEdgelessGraphIsNotMaximal) {
+  Graph g = Graph::FromEdges(3, {});
+  BitVector set(3);
+  VerifyResult vr = VerifyIndependentSet(g, set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_FALSE(vr.maximal);
+}
+
+TEST_F(VerifyTest, FileVariantMatchesInMemory) {
+  Graph g = GenerateErdosRenyi(100, 300, 5);
+  std::string path = WriteGraphFile(&scratch_, g);
+  BitVector set = testing_util::RandomMaximalSet(g, 9);
+  VerifyResult mem = VerifyIndependentSet(g, set);
+  VerifyResult file;
+  ASSERT_OK(VerifyIndependentSetFile(path, set, &file));
+  EXPECT_EQ(mem.independent, file.independent);
+  EXPECT_EQ(mem.maximal, file.maximal);
+  EXPECT_TRUE(file.independent);
+  EXPECT_TRUE(file.maximal);
+}
+
+TEST_F(VerifyTest, FileVariantSizeMismatchRejected) {
+  Graph g = GenerateCycle(10);
+  std::string path = WriteGraphFile(&scratch_, g);
+  BitVector wrong(3);
+  VerifyResult vr;
+  EXPECT_TRUE(VerifyIndependentSetFile(path, wrong, &vr).IsInvalidArgument());
+}
+
+TEST_F(VerifyTest, SingleScanOnly) {
+  Graph g = GenerateErdosRenyi(200, 600, 6);
+  std::string path = WriteGraphFile(&scratch_, g);
+  BitVector set = testing_util::RandomMaximalSet(g, 3);
+  IoStats stats;
+  VerifyResult vr;
+  ASSERT_OK(VerifyIndependentSetFile(path, set, &vr, &stats));
+  EXPECT_EQ(stats.sequential_scans, 1u);
+}
+
+}  // namespace
+}  // namespace semis

@@ -1,0 +1,101 @@
+// End-to-end encodings of the paper's figures and narrated examples.
+#include <gtest/gtest.h>
+
+#include "baselines/exact.h"
+#include "core/greedy.h"
+#include "core/one_k_swap.h"
+#include "core/two_k_swap.h"
+#include "core/upper_bound.h"
+#include "core/verify.h"
+#include "gen/paper_figures.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+using testing_util::SetToVector;
+using testing_util::WriteGraphFileInOrder;
+
+class WorkedExamplesTest : public ScratchTest {};
+
+TEST_F(WorkedExamplesTest, Figure1IndependenceNumberIsFour) {
+  PaperExample ex = Figure1Example();
+  ExactResult exact;
+  ASSERT_OK(ExactMaxIndependentSet(ex.graph, &exact));
+  EXPECT_EQ(exact.alpha, 4u);  // {v2, v3, v4, v5}
+  EXPECT_EQ(ComputeIndependenceUpperBound(ex.graph), 4u);
+}
+
+TEST_F(WorkedExamplesTest, Figure1MaximalSetOfSizeTwoExists) {
+  // {v1, v2} is independent and maximal (every other vertex touches v1).
+  PaperExample ex = Figure1Example();
+  BitVector set(5);
+  set.Set(0);
+  set.Set(1);
+  VerifyResult vr = VerifyIndependentSet(ex.graph, set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_TRUE(vr.maximal);
+}
+
+TEST_F(WorkedExamplesTest, Figure1GreedyOnDegreeSortedFileIsOptimal) {
+  // Degree order: v2 (0), then the leaves (1), then v1 (3). Greedy takes
+  // v2 and all leaves: the maximum independent set.
+  PaperExample ex = Figure1Example();
+  std::vector<VertexId> degree_order = {1, 2, 3, 4, 0};
+  std::string path = WriteGraphFileInOrder(&scratch_, ex.graph, degree_order,
+                                           kAdjFlagDegreeSorted);
+  AlgoResult res;
+  ASSERT_OK(RunGreedy(path, {}, &res));
+  EXPECT_EQ(res.set_size, 4u);
+  EXPECT_EQ(SetToVector(res.in_set), (std::vector<VertexId>{1, 2, 3, 4}));
+}
+
+TEST_F(WorkedExamplesTest, Figure2BothSkeletonsExistButConflict) {
+  PaperExample ex = Figure2Example();
+  // (v2,v3,v1): v2,v3 not adjacent, both only-IS-neighbor v1.
+  EXPECT_FALSE(ex.graph.HasEdge(1, 2));
+  // (v5,v6,v4): v5,v6 not adjacent, both only-IS-neighbor v4.
+  EXPECT_FALSE(ex.graph.HasEdge(4, 5));
+  // The conflict: v3 and v6 are adjacent, so both swaps cannot fire.
+  EXPECT_TRUE(ex.graph.HasEdge(2, 5));
+  ExactResult exact;
+  ASSERT_OK(ExactMaxIndependentSet(ex.graph, &exact));
+  EXPECT_EQ(exact.alpha, 3u);
+}
+
+TEST_F(WorkedExamplesTest, Figure5CascadeIsThreeRoundsOfSingleSwaps) {
+  PaperExample ex = Figure5Example();
+  std::string path = WriteGraphFileInOrder(&scratch_, ex.graph, ex.scan_order);
+  BitVector initial(ex.graph.NumVertices());
+  for (VertexId v : ex.initial_set) initial.Set(v);
+  AlgoResult res;
+  ASSERT_OK(RunOneKSwap(path, initial, {}, &res));
+  // Paper: "this graph needs three rounds of swaps": v7 -> {v8,v9},
+  // v4 -> {v5,v6}, v1 -> {v2,v3} (one per round), plus the convergence
+  // round.
+  EXPECT_EQ(res.rounds, 4u);
+  EXPECT_EQ(res.set_size, 6u);
+  EXPECT_EQ(res.round_stats[0].one_k_swaps, 1u);
+  EXPECT_EQ(res.round_stats[1].one_k_swaps, 1u);
+  EXPECT_EQ(res.round_stats[2].one_k_swaps, 1u);
+  EXPECT_EQ(res.round_stats[3].one_k_swaps, 0u);
+}
+
+TEST_F(WorkedExamplesTest, Figure7TwoKBeatsOneK) {
+  PaperExample ex = Figure7Example();
+  std::string path = WriteGraphFileInOrder(&scratch_, ex.graph, ex.scan_order);
+  BitVector initial(ex.graph.NumVertices());
+  for (VertexId v : ex.initial_set) initial.Set(v);
+  AlgoResult one_k, two_k;
+  ASSERT_OK(RunOneKSwap(path, initial, {}, &one_k));
+  ASSERT_OK(RunTwoKSwap(path, initial, {}, &two_k));
+  EXPECT_EQ(two_k.set_size, 5u);
+  EXPECT_LT(one_k.set_size, two_k.set_size);
+  ExactResult exact;
+  ASSERT_OK(ExactMaxIndependentSet(ex.graph, &exact));
+  EXPECT_EQ(two_k.set_size, exact.alpha);  // two-k is optimal here
+}
+
+}  // namespace
+}  // namespace semis

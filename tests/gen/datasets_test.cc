@@ -1,0 +1,74 @@
+#include "gen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/adjacency_file.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+
+TEST(DatasetsTest, RegistryMatchesTable4) {
+  const auto& datasets = PaperDatasets();
+  ASSERT_EQ(datasets.size(), 10u);
+  EXPECT_EQ(datasets.front().name, "astroph");
+  EXPECT_EQ(datasets.back().name, "clueweb12");
+  // Paper-reported sizes are preserved verbatim for the bench headers.
+  const DatasetSpec* fb = FindDataset("facebook");
+  ASSERT_NE(fb, nullptr);
+  EXPECT_EQ(fb->paper_vertices, 59220000u);
+  EXPECT_TRUE(fb->in_memory_na);
+  EXPECT_EQ(FindDataset("nope"), nullptr);
+}
+
+class DatasetMaterializeTest : public ScratchTest {};
+
+TEST_F(DatasetMaterializeTest, MaterializeProducesBothFiles) {
+  const DatasetSpec* spec = FindDataset("astroph");
+  ASSERT_NE(spec, nullptr);
+  DatasetFiles files;
+  // Scale down hard so the test is fast: 0.05 * default scale.
+  ASSERT_OK(MaterializeDataset(*spec, 0.05, scratch_.path(), &files));
+  EXPECT_GT(files.num_vertices, 500u);
+  EXPECT_GT(files.num_edges, files.num_vertices / 2);
+
+  AdjacencyFileScanner unsorted, sorted;
+  ASSERT_OK(unsorted.Open(files.adjacency_path));
+  ASSERT_OK(sorted.Open(files.sorted_path));
+  EXPECT_FALSE(unsorted.header().IsDegreeSorted());
+  EXPECT_TRUE(sorted.header().IsDegreeSorted());
+  EXPECT_EQ(unsorted.header().num_vertices, sorted.header().num_vertices);
+  EXPECT_EQ(unsorted.header().num_directed_edges,
+            sorted.header().num_directed_edges);
+  // Average degree lands near the paper's column.
+  EXPECT_NEAR(files.avg_degree / spec->paper_avg_degree, 1.0, 0.35);
+}
+
+TEST_F(DatasetMaterializeTest, CacheReusesFiles) {
+  const DatasetSpec* spec = FindDataset("dblp");
+  ASSERT_NE(spec, nullptr);
+  DatasetFiles first;
+  ASSERT_OK(MaterializeDataset(*spec, 0.02, scratch_.path(), &first));
+  uint64_t size_before = 0;
+  ASSERT_OK(GetFileSize(first.adjacency_path, &size_before));
+  DatasetFiles second;
+  ASSERT_OK(MaterializeDataset(*spec, 0.02, scratch_.path(), &second));
+  EXPECT_EQ(first.adjacency_path, second.adjacency_path);
+  uint64_t size_after = 0;
+  ASSERT_OK(GetFileSize(second.adjacency_path, &size_after));
+  EXPECT_EQ(size_before, size_after);
+  EXPECT_EQ(first.num_edges, second.num_edges);
+}
+
+TEST(DatasetsTest, GlobalScaleParsesEnvironment) {
+  // Only checks the default path; the env override is exercised by the
+  // bench harness.
+  double scale = GlobalScaleFromEnv();
+  EXPECT_GE(scale, 0.01);
+  EXPECT_LE(scale, 1000.0);
+}
+
+}  // namespace
+}  // namespace semis

@@ -1,0 +1,101 @@
+#include "gen/plrg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph_stats.h"
+
+namespace semis {
+namespace {
+
+TEST(PlrgSpecTest, ForVertexCountHitsTarget) {
+  for (double beta : {1.7, 2.0, 2.7}) {
+    for (uint64_t target : {1000ull, 50000ull, 1000000ull}) {
+      PlrgSpec spec = PlrgSpec::ForVertexCount(target, beta);
+      double realized = static_cast<double>(spec.TargetVertices());
+      EXPECT_NEAR(realized / static_cast<double>(target), 1.0, 0.02)
+          << "beta=" << beta << " target=" << target;
+    }
+  }
+}
+
+TEST(PlrgSpecTest, MaxDegreeFollowsAlphaOverBeta) {
+  PlrgSpec spec{.alpha = 10.0, .beta = 2.0};
+  EXPECT_EQ(spec.MaxDegree(), static_cast<uint32_t>(std::exp(5.0)));
+}
+
+TEST(PlrgSpecTest, ForVerticesAndAvgDegree) {
+  for (double avg : {5.0, 20.0}) {
+    PlrgSpec spec = PlrgSpec::ForVerticesAndAvgDegree(100000, avg);
+    double realized_avg = static_cast<double>(spec.TargetDegreeSum()) /
+                          static_cast<double>(spec.TargetVertices());
+    EXPECT_NEAR(realized_avg / avg, 1.0, 0.15) << "avg=" << avg;
+  }
+}
+
+TEST(PlrgTest, GeneratedGraphIsSimpleAndSized) {
+  PlrgSpec spec = PlrgSpec::ForVertexCount(20000, 2.0);
+  Graph g = GeneratePlrg(spec, 11);
+  EXPECT_NEAR(static_cast<double>(g.NumVertices()) / 20000.0, 1.0, 0.02);
+  // Matching-model simplification loses some edges, but not most of them.
+  EXPECT_GT(g.NumEdges(), spec.TargetDegreeSum() / 2 * 7 / 10);
+  // Simplicity: no self-loop, sorted unique neighbors.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], v);
+      if (i > 0) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+}
+
+TEST(PlrgTest, DeterministicPerSeed) {
+  PlrgSpec spec = PlrgSpec::ForVertexCount(5000, 2.1);
+  Graph a = GeneratePlrg(spec, 42);
+  Graph b = GeneratePlrg(spec, 42);
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    auto na = a.Neighbors(v);
+    auto nb = b.Neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+  Graph c = GeneratePlrg(spec, 43);
+  EXPECT_NE(a.NumEdges(), 0u);
+  bool identical = a.NumEdges() == c.NumEdges();
+  if (identical) {
+    bool all_same = true;
+    for (VertexId v = 0; v < a.NumVertices() && all_same; ++v) {
+      auto na = a.Neighbors(v);
+      auto nc = c.Neighbors(v);
+      all_same = std::equal(na.begin(), na.end(), nc.begin(), nc.end());
+    }
+    identical = all_same;
+  }
+  EXPECT_FALSE(identical) << "different seeds produced identical graphs";
+}
+
+TEST(PlrgTest, IdOrderCarriesNoDegreeSignal) {
+  // Ids are randomly permuted: the first half of ids should not have a
+  // systematically different average degree from the second half.
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(20000, 2.0), 3);
+  const VertexId n = g.NumVertices();
+  double first = 0, second = 0;
+  for (VertexId v = 0; v < n / 2; ++v) first += g.Degree(v);
+  for (VertexId v = n / 2; v < n; ++v) second += g.Degree(v);
+  first /= n / 2;
+  second /= n - n / 2;
+  EXPECT_NEAR(first / second, 1.0, 0.2);
+}
+
+TEST(PlrgTest, DegreeDistributionIsHeavyTailed) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(50000, 2.0), 8);
+  GraphStats s = ComputeGraphStats(g);
+  // Power law: degree-1 vertices dominate; max degree far above average.
+  EXPECT_GT(s.degree_histogram[1], s.num_vertices / 3);
+  EXPECT_GT(s.max_degree, 10 * s.avg_degree);
+}
+
+}  // namespace
+}  // namespace semis

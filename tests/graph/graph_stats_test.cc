@@ -1,0 +1,70 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/plrg.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+using testing_util::WriteGraphFile;
+
+TEST(GraphStatsTest, StarStatistics) {
+  Graph g = GenerateStar(101);
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_vertices, 101u);
+  EXPECT_EQ(s.num_edges, 100u);
+  EXPECT_EQ(s.max_degree, 100u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+  EXPECT_EQ(s.degree_histogram[1], 100u);
+  EXPECT_EQ(s.degree_histogram[100], 1u);
+  EXPECT_NEAR(s.avg_degree, 200.0 / 101.0, 1e-9);
+}
+
+TEST(GraphStatsTest, IsolatedVerticesCounted) {
+  Graph g = Graph::FromEdges(10, {{0, 1}});
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.isolated_vertices, 8u);
+  EXPECT_EQ(s.min_degree, 0u);
+}
+
+TEST(GraphStatsTest, BetaEstimateRecoversGeneratorParameter) {
+  for (double beta : {1.8, 2.2}) {
+    Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(200000, beta), 7);
+    GraphStats s = ComputeGraphStats(g);
+    // The matching model + simplification bends the tail, so the fit is
+    // loose; shape recovery within 0.35 is enough to tell 1.8 from 2.7.
+    EXPECT_NEAR(s.EstimateBeta(), beta, 0.35) << "beta=" << beta;
+  }
+}
+
+TEST(GraphStatsTest, BetaEstimateDegenerateCases) {
+  GraphStats empty;
+  EXPECT_EQ(empty.EstimateBeta(), 0.0);
+  // Single populated degree: underdetermined.
+  Graph g = GenerateCycle(10);
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.EstimateBeta(), 0.0);
+}
+
+class GraphStatsFileTest : public ScratchTest {};
+
+TEST_F(GraphStatsFileTest, FileStatsMatchInMemoryStats) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(5000, 2.0), 13);
+  std::string path = WriteGraphFile(&scratch_, g);
+  GraphStats mem = ComputeGraphStats(g);
+  GraphStats file;
+  ASSERT_OK(ComputeGraphStatsFromFile(path, &file));
+  EXPECT_EQ(file.num_vertices, mem.num_vertices);
+  EXPECT_EQ(file.num_edges, mem.num_edges);
+  EXPECT_EQ(file.max_degree, mem.max_degree);
+  EXPECT_EQ(file.degree_histogram, mem.degree_histogram);
+  EXPECT_DOUBLE_EQ(file.avg_degree, mem.avg_degree);
+}
+
+}  // namespace
+}  // namespace semis

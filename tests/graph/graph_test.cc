@@ -1,0 +1,80 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace semis {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Graph::FromEdges(0, {});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+}
+
+TEST(GraphTest, VerticesWithoutEdges) {
+  Graph g = Graph::FromEdges(5, {});
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.Degree(v), 0u);
+}
+
+TEST(GraphTest, BasicTriangle) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.NumDirectedEdges(), 6u);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.Degree(v), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_EQ(g.MaxDegree(), 2u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+}
+
+TEST(GraphTest, SelfLoopsDropped) {
+  Graph g = Graph::FromEdges(3, {{0, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, DuplicateEdgesDropped) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}, {0, 2}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphTest, OutOfRangeEdgesDropped) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {0, 7}, {9, 1}});
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, NeighborsAreSortedAscending) {
+  Graph g = Graph::FromEdges(6, {{3, 5}, {3, 1}, {3, 4}, {3, 0}, {3, 2}});
+  auto nbrs = g.Neighbors(3);
+  ASSERT_EQ(nbrs.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.MaxDegree(), 5u);
+}
+
+TEST(GraphTest, HasEdgeUsesSmallerList) {
+  // Star: center 0 has large degree; HasEdge must work both directions.
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < 100; ++v) edges.push_back({0, v});
+  Graph g = Graph::FromEdges(100, edges);
+  EXPECT_TRUE(g.HasEdge(0, 57));
+  EXPECT_TRUE(g.HasEdge(57, 0));
+  EXPECT_FALSE(g.HasEdge(57, 58));
+  EXPECT_FALSE(g.HasEdge(0, 100));  // out of range id
+}
+
+TEST(GraphTest, MemoryBytesScalesWithSize) {
+  Graph small = Graph::FromEdges(10, {{0, 1}});
+  Graph big = Graph::FromEdges(10000, {{0, 1}});
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace semis

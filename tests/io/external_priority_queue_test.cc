@@ -1,0 +1,138 @@
+#include "io/external_priority_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+
+class ExternalPqTest : public ScratchTest {};
+
+TEST_F(ExternalPqTest, BasicOrdering) {
+  ExternalPriorityQueueOptions opts;
+  opts.scratch_dir = scratch_.path();
+  ExternalPriorityQueue pq(opts);
+  ASSERT_OK(pq.Push(5, 50));
+  ASSERT_OK(pq.Push(1, 10));
+  ASSERT_OK(pq.Push(3, 30));
+  EXPECT_EQ(pq.Size(), 3u);
+  uint64_t key;
+  uint32_t value;
+  ASSERT_OK(pq.PopMin(&key, &value));
+  EXPECT_EQ(key, 1u);
+  EXPECT_EQ(value, 10u);
+  ASSERT_OK(pq.PopMin(&key, &value));
+  EXPECT_EQ(key, 3u);
+  ASSERT_OK(pq.PopMin(&key, &value));
+  EXPECT_EQ(key, 5u);
+  EXPECT_TRUE(pq.Empty());
+}
+
+TEST_F(ExternalPqTest, PeekDoesNotRemove) {
+  ExternalPriorityQueueOptions opts;
+  opts.scratch_dir = scratch_.path();
+  ExternalPriorityQueue pq(opts);
+  ASSERT_OK(pq.Push(9, 1));
+  uint64_t key;
+  uint32_t value;
+  ASSERT_OK(pq.PeekMin(&key, &value));
+  EXPECT_EQ(key, 9u);
+  EXPECT_EQ(pq.Size(), 1u);
+  ASSERT_OK(pq.PopMin(&key, &value));
+  EXPECT_TRUE(pq.Empty());
+}
+
+TEST_F(ExternalPqTest, PopOnEmptyFails) {
+  ExternalPriorityQueueOptions opts;
+  opts.scratch_dir = scratch_.path();
+  ExternalPriorityQueue pq(opts);
+  uint64_t key;
+  uint32_t value;
+  EXPECT_TRUE(pq.PopMin(&key, &value).IsInvalidArgument());
+  EXPECT_TRUE(pq.PeekMin(&key, &value).IsInvalidArgument());
+}
+
+TEST_F(ExternalPqTest, SpillingMatchesReferenceHeap) {
+  ExternalPriorityQueueOptions opts;
+  opts.memory_budget_entries = 64;  // force spills
+  opts.scratch_dir = scratch_.path();
+  ExternalPriorityQueue pq(opts);
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<>> ref;
+  Random rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key = rng.Uniform(100000);
+    ASSERT_OK(pq.Push(key, static_cast<uint32_t>(key & 0xFFFF)));
+    ref.push(key);
+  }
+  EXPECT_GT(pq.RunsCreated(), 0u);
+  while (!ref.empty()) {
+    uint64_t key;
+    uint32_t value;
+    ASSERT_OK(pq.PopMin(&key, &value));
+    ASSERT_EQ(key, ref.top());
+    EXPECT_EQ(value, static_cast<uint32_t>(key & 0xFFFF));
+    ref.pop();
+  }
+  EXPECT_TRUE(pq.Empty());
+}
+
+TEST_F(ExternalPqTest, InterleavedPushPopWithSpills) {
+  // Time-forward usage pattern: pushes with monotonically growing keys
+  // interleaved with pops of the current minimum.
+  ExternalPriorityQueueOptions opts;
+  opts.memory_budget_entries = 32;
+  opts.scratch_dir = scratch_.path();
+  ExternalPriorityQueue pq(opts);
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<>> ref;
+  Random rng(321);
+  uint64_t watermark = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (ref.empty() || rng.OneIn(0.6)) {
+      uint64_t key = watermark + rng.Uniform(50);
+      ASSERT_OK(pq.Push(key, 0));
+      ref.push(key);
+    } else {
+      uint64_t key;
+      uint32_t value;
+      ASSERT_OK(pq.PopMin(&key, &value));
+      ASSERT_EQ(key, ref.top());
+      ref.pop();
+      watermark = key;
+    }
+  }
+  while (!ref.empty()) {
+    uint64_t key;
+    uint32_t value;
+    ASSERT_OK(pq.PopMin(&key, &value));
+    ASSERT_EQ(key, ref.top());
+    ref.pop();
+  }
+  EXPECT_TRUE(pq.Empty());
+}
+
+TEST_F(ExternalPqTest, DuplicateKeysAllPopped) {
+  ExternalPriorityQueueOptions opts;
+  opts.memory_budget_entries = 16;
+  opts.scratch_dir = scratch_.path();
+  ExternalPriorityQueue pq(opts);
+  for (int i = 0; i < 100; ++i) ASSERT_OK(pq.Push(7, static_cast<uint32_t>(i)));
+  uint64_t key;
+  uint32_t value;
+  int popped = 0;
+  while (!pq.Empty()) {
+    ASSERT_OK(pq.PopMin(&key, &value));
+    EXPECT_EQ(key, 7u);
+    popped++;
+  }
+  EXPECT_EQ(popped, 100);
+}
+
+}  // namespace
+}  // namespace semis

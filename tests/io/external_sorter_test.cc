@@ -1,0 +1,183 @@
+#include "io/external_sorter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+
+class ExternalSorterTest : public ScratchTest {};
+
+std::vector<std::pair<uint64_t, std::vector<uint32_t>>> Drain(
+    ExternalSorter* sorter) {
+  std::vector<std::pair<uint64_t, std::vector<uint32_t>>> out;
+  uint64_t key = 0;
+  std::vector<uint32_t> payload;
+  while (sorter->Next(&key, &payload)) {
+    out.emplace_back(key, payload);
+  }
+  EXPECT_OK(sorter->status());
+  return out;
+}
+
+TEST_F(ExternalSorterTest, InMemorySort) {
+  ExternalSorterOptions opts;
+  opts.scratch_dir = scratch_.path();
+  ExternalSorter sorter(opts);
+  uint32_t p1[] = {10, 11};
+  uint32_t p2[] = {20};
+  ASSERT_OK(sorter.Add(5, p1, 2));
+  ASSERT_OK(sorter.Add(1, p2, 1));
+  ASSERT_OK(sorter.AddKey(3));
+  ASSERT_OK(sorter.Finish());
+  EXPECT_EQ(sorter.NumInitialRuns(), 0u);  // never spilled
+  auto out = Drain(&sorter);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, 1u);
+  EXPECT_EQ(out[0].second, std::vector<uint32_t>{20});
+  EXPECT_EQ(out[1].first, 3u);
+  EXPECT_TRUE(out[1].second.empty());
+  EXPECT_EQ(out[2].first, 5u);
+  EXPECT_EQ(out[2].second, (std::vector<uint32_t>{10, 11}));
+}
+
+TEST_F(ExternalSorterTest, SpillingProducesSortedPermutation) {
+  ExternalSorterOptions opts;
+  opts.memory_budget_bytes = 1024;  // force many runs
+  opts.scratch_dir = scratch_.path();
+  IoStats stats;
+  opts.stats = &stats;
+  ExternalSorter sorter(opts);
+  Random rng(77);
+  std::map<uint64_t, int> expected;
+  const int kRecords = 5000;
+  for (int i = 0; i < kRecords; ++i) {
+    uint64_t key = rng.Uniform(1000);
+    uint32_t payload = static_cast<uint32_t>(key * 2 + 1);
+    ASSERT_OK(sorter.Add(key, &payload, 1));
+    expected[key]++;
+  }
+  ASSERT_OK(sorter.Finish());
+  EXPECT_GT(sorter.NumInitialRuns(), 1u);
+  auto out = Drain(&sorter);
+  ASSERT_EQ(out.size(), static_cast<size_t>(kRecords));
+  uint64_t prev = 0;
+  std::map<uint64_t, int> seen;
+  for (auto& [key, payload] : out) {
+    EXPECT_GE(key, prev);
+    prev = key;
+    ASSERT_EQ(payload.size(), 1u);
+    EXPECT_EQ(payload[0], key * 2 + 1);  // payload stays attached to key
+    seen[key]++;
+  }
+  EXPECT_EQ(seen, expected);
+  EXPECT_GT(stats.bytes_written, 0u);
+}
+
+TEST_F(ExternalSorterTest, MultiPassMergeRespectsFanIn) {
+  ExternalSorterOptions opts;
+  opts.memory_budget_bytes = 256;  // ~18 records per run
+  opts.fan_in = 2;                 // force intermediate passes
+  opts.scratch_dir = scratch_.path();
+  ExternalSorter sorter(opts);
+  const int kRecords = 2000;
+  for (int i = kRecords - 1; i >= 0; --i) {
+    ASSERT_OK(sorter.AddKey(static_cast<uint64_t>(i)));
+  }
+  ASSERT_OK(sorter.Finish());
+  EXPECT_GT(sorter.MergePasses(), 0u);
+  auto out = Drain(&sorter);
+  ASSERT_EQ(out.size(), static_cast<size_t>(kRecords));
+  for (int i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(out[i].first, static_cast<uint64_t>(i));
+  }
+}
+
+TEST_F(ExternalSorterTest, EmptyInput) {
+  ExternalSorterOptions opts;
+  opts.scratch_dir = scratch_.path();
+  ExternalSorter sorter(opts);
+  ASSERT_OK(sorter.Finish());
+  uint64_t key;
+  std::vector<uint32_t> payload;
+  EXPECT_FALSE(sorter.Next(&key, &payload));
+  EXPECT_OK(sorter.status());
+}
+
+TEST_F(ExternalSorterTest, DuplicateKeysAllSurvive) {
+  ExternalSorterOptions opts;
+  opts.memory_budget_bytes = 512;
+  opts.scratch_dir = scratch_.path();
+  ExternalSorter sorter(opts);
+  for (int i = 0; i < 300; ++i) {
+    uint32_t payload = static_cast<uint32_t>(i);
+    ASSERT_OK(sorter.Add(42, &payload, 1));
+  }
+  ASSERT_OK(sorter.Finish());
+  auto out = Drain(&sorter);
+  ASSERT_EQ(out.size(), 300u);
+  std::vector<bool> seen(300, false);
+  for (auto& [key, payload] : out) {
+    EXPECT_EQ(key, 42u);
+    seen[payload[0]] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST_F(ExternalSorterTest, ZeroBudgetSpillsEveryRecord) {
+  ExternalSorterOptions opts;
+  opts.memory_budget_bytes = 0;  // degenerate: one record per run
+  opts.scratch_dir = scratch_.path();
+  ExternalSorter sorter(opts);
+  for (int i = 20; i > 0; --i) {
+    ASSERT_OK(sorter.AddKey(static_cast<uint64_t>(i)));
+  }
+  ASSERT_OK(sorter.Finish());
+  EXPECT_EQ(sorter.NumInitialRuns(), 20u);
+  auto out = Drain(&sorter);
+  ASSERT_EQ(out.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(out[i].first, static_cast<uint64_t>(i + 1));
+  }
+}
+
+TEST_F(ExternalSorterTest, AddAfterFinishRejected) {
+  ExternalSorterOptions opts;
+  opts.scratch_dir = scratch_.path();
+  ExternalSorter sorter(opts);
+  ASSERT_OK(sorter.Finish());
+  EXPECT_TRUE(sorter.AddKey(1).IsInvalidArgument());
+}
+
+TEST_F(ExternalSorterTest, VariableLengthPayloads) {
+  ExternalSorterOptions opts;
+  opts.memory_budget_bytes = 2048;
+  opts.scratch_dir = scratch_.path();
+  ExternalSorter sorter(opts);
+  Random rng(5);
+  std::map<uint64_t, std::vector<uint32_t>> expected;
+  for (uint64_t k = 0; k < 200; ++k) {
+    std::vector<uint32_t> payload(rng.Uniform(50));
+    for (auto& p : payload) p = static_cast<uint32_t>(rng.Uniform(1000));
+    ASSERT_OK(sorter.Add(k, payload.data(),
+                         static_cast<uint32_t>(payload.size())));
+    expected[k] = payload;
+  }
+  ASSERT_OK(sorter.Finish());
+  auto out = Drain(&sorter);
+  ASSERT_EQ(out.size(), 200u);
+  for (auto& [key, payload] : out) {
+    EXPECT_EQ(payload, expected[key]) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace semis

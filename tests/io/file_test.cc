@@ -1,0 +1,160 @@
+#include "io/file.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+
+class FileTest : public ScratchTest {};
+
+TEST_F(FileTest, WriteReadRoundtrip) {
+  std::string path = NewPath("roundtrip");
+  IoStats stats;
+  {
+    SequentialFileWriter w(&stats);
+    ASSERT_OK(w.Open(path));
+    ASSERT_OK(w.AppendU32(0xDEADBEEF));
+    ASSERT_OK(w.AppendU64(0x0123456789ABCDEFull));
+    const char text[] = "hello";
+    ASSERT_OK(w.Append(text, 5));
+    EXPECT_EQ(w.BytesWritten(), 4u + 8u + 5u);
+    ASSERT_OK(w.Close());
+  }
+  {
+    SequentialFileReader r(&stats);
+    ASSERT_OK(r.Open(path));
+    uint32_t u32 = 0;
+    uint64_t u64 = 0;
+    char buf[6] = {0};
+    ASSERT_OK(r.ReadU32(&u32));
+    ASSERT_OK(r.ReadU64(&u64));
+    ASSERT_OK(r.ReadExact(buf, 5));
+    EXPECT_EQ(u32, 0xDEADBEEF);
+    EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+    EXPECT_EQ(std::string(buf), "hello");
+    EXPECT_TRUE(r.AtEof());
+  }
+  EXPECT_EQ(stats.bytes_written, 17u);
+  EXPECT_EQ(stats.bytes_read, 17u);
+  EXPECT_EQ(stats.files_opened, 2u);
+}
+
+TEST_F(FileTest, LargePayloadCrossesBufferBoundary) {
+  std::string path = NewPath("large");
+  std::vector<uint32_t> data(300000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint32_t>(i);
+  {
+    SequentialFileWriter w(nullptr, /*buffer_bytes=*/4096);  // tiny buffer
+    ASSERT_OK(w.Open(path));
+    ASSERT_OK(w.Append(data.data(), data.size() * sizeof(uint32_t)));
+    ASSERT_OK(w.Close());
+  }
+  std::vector<uint32_t> back(data.size());
+  SequentialFileReader r(nullptr, /*buffer_bytes=*/4096);
+  ASSERT_OK(r.Open(path));
+  ASSERT_OK(r.ReadExact(back.data(), back.size() * sizeof(uint32_t)));
+  EXPECT_TRUE(r.AtEof());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(FileTest, ReadExactOnTruncatedFileIsCorruption) {
+  std::string path = NewPath("short");
+  {
+    SequentialFileWriter w;
+    ASSERT_OK(w.Open(path));
+    ASSERT_OK(w.AppendU32(7));
+    ASSERT_OK(w.Close());
+  }
+  SequentialFileReader r;
+  ASSERT_OK(r.Open(path));
+  uint64_t v = 0;
+  Status s = r.ReadU64(&v);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(FileTest, OpenMissingFileFails) {
+  SequentialFileReader r;
+  Status s = r.Open(NewPath("does-not-exist"));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(FileTest, PartialReadReportsCount) {
+  std::string path = NewPath("partial");
+  {
+    SequentialFileWriter w;
+    ASSERT_OK(w.Open(path));
+    ASSERT_OK(w.Append("abc", 3));
+    ASSERT_OK(w.Close());
+  }
+  SequentialFileReader r;
+  ASSERT_OK(r.Open(path));
+  char buf[10];
+  size_t got = 0;
+  ASSERT_OK(r.Read(buf, 10, &got));
+  EXPECT_EQ(got, 3u);
+  ASSERT_OK(r.Read(buf, 10, &got));
+  EXPECT_EQ(got, 0u);
+}
+
+TEST_F(FileTest, EmptyFileIsImmediatelyEof) {
+  std::string path = NewPath("empty");
+  {
+    SequentialFileWriter w;
+    ASSERT_OK(w.Open(path));
+    ASSERT_OK(w.Close());
+  }
+  SequentialFileReader r;
+  ASSERT_OK(r.Open(path));
+  EXPECT_TRUE(r.AtEof());
+}
+
+TEST_F(FileTest, GetFileSizeAndRemove) {
+  std::string path = NewPath("sized");
+  {
+    SequentialFileWriter w;
+    ASSERT_OK(w.Open(path));
+    ASSERT_OK(w.Append("0123456789", 10));
+    ASSERT_OK(w.Close());
+  }
+  uint64_t size = 0;
+  ASSERT_OK(GetFileSize(path, &size));
+  EXPECT_EQ(size, 10u);
+  ASSERT_OK(RemoveFileIfExists(path));
+  EXPECT_FALSE(GetFileSize(path, &size).ok());
+  ASSERT_OK(RemoveFileIfExists(path));  // second remove is fine
+}
+
+TEST_F(FileTest, DoubleOpenRejected) {
+  std::string path = NewPath("dbl");
+  SequentialFileWriter w;
+  ASSERT_OK(w.Open(path));
+  EXPECT_TRUE(w.Open(path).IsInvalidArgument());
+  ASSERT_OK(w.Close());
+}
+
+TEST_F(FileTest, ScratchDirCleansUpOnDestruction) {
+  std::string dir_path;
+  {
+    ScratchDir dir;
+    ASSERT_OK(ScratchDir::Create("semis-cleanup", &dir));
+    dir_path = dir.path();
+    SequentialFileWriter w;
+    ASSERT_OK(w.Open(dir.NewFilePath("f")));
+    ASSERT_OK(w.Append("x", 1));
+    ASSERT_OK(w.Close());
+    uint64_t size;
+    EXPECT_OK(GetFileSize(dir_path + "/f.0", &size));
+  }
+  uint64_t size;
+  EXPECT_FALSE(GetFileSize(dir_path + "/f.0", &size).ok());
+}
+
+}  // namespace
+}  // namespace semis

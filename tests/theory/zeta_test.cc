@@ -1,0 +1,54 @@
+#include "theory/zeta.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace semis {
+namespace {
+
+TEST(ZetaTest, HarmonicNumbers) {
+  // zeta(1, y) is the harmonic number H_y.
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(1.0, 1), 1.0);
+  EXPECT_NEAR(GeneralizedHarmonic(1.0, 2), 1.5, 1e-12);
+  EXPECT_NEAR(GeneralizedHarmonic(1.0, 4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(ZetaTest, ZeroExponentCounts) {
+  // zeta(0, y) = y.
+  EXPECT_NEAR(GeneralizedHarmonic(0.0, 1000), 1000.0, 1e-9);
+}
+
+TEST(ZetaTest, NegativeExponentSums) {
+  // zeta(-1, y) = y (y+1) / 2.
+  EXPECT_NEAR(GeneralizedHarmonic(-1.0, 100), 5050.0, 1e-9);
+}
+
+TEST(ZetaTest, ConvergesTowardRiemannZeta) {
+  // zeta(2, inf) = pi^2/6.
+  double z = GeneralizedHarmonic(2.0, 10000000);
+  EXPECT_NEAR(z, M_PI * M_PI / 6.0, 1e-6);
+}
+
+TEST(ZetaTest, EmptySum) { EXPECT_EQ(GeneralizedHarmonic(2.0, 0), 0.0); }
+
+TEST(ZetaTest, MonotoneInY) {
+  double prev = 0;
+  for (uint64_t y = 1; y < 100; ++y) {
+    double z = GeneralizedHarmonic(1.7, y);
+    EXPECT_GT(z, prev);
+    prev = z;
+  }
+}
+
+TEST(ZetaTest, TailApproximationContinuity) {
+  // Values just below and above the exact-summation limit must agree
+  // smoothly (the limit is 5e7; compare growth rates at reachable sizes).
+  double a = GeneralizedHarmonic(1.1, 49999999);
+  double b = GeneralizedHarmonic(1.1, 60000000);
+  EXPECT_GT(b, a);
+  EXPECT_LT(b - a, 0.05);
+}
+
+}  // namespace
+}  // namespace semis

@@ -1,0 +1,61 @@
+#include "util/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace semis {
+namespace {
+
+TEST(BitVectorTest, StartsClear) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.Count(), 0u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bv.Test(i));
+}
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector bv(200);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(199);
+  EXPECT_TRUE(bv.Test(0));
+  EXPECT_TRUE(bv.Test(63));
+  EXPECT_TRUE(bv.Test(64));
+  EXPECT_TRUE(bv.Test(199));
+  EXPECT_FALSE(bv.Test(1));
+  EXPECT_EQ(bv.Count(), 4u);
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Test(63));
+  EXPECT_EQ(bv.Count(), 3u);
+}
+
+TEST(BitVectorTest, ResetClearsEverything) {
+  BitVector bv(100);
+  for (size_t i = 0; i < 100; i += 3) bv.Set(i);
+  bv.Reset();
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitVectorTest, ResizeReinitializes) {
+  BitVector bv(10);
+  bv.Set(5);
+  bv.Resize(1000);
+  EXPECT_EQ(bv.size(), 1000u);
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitVectorTest, CountAcrossWordBoundaries) {
+  BitVector bv(256);
+  for (size_t i = 0; i < 256; ++i) bv.Set(i);
+  EXPECT_EQ(bv.Count(), 256u);
+}
+
+TEST(BitVectorTest, MemoryBytesIsWordGranular) {
+  EXPECT_EQ(BitVector(0).MemoryBytes(), 0u);
+  EXPECT_EQ(BitVector(1).MemoryBytes(), 8u);
+  EXPECT_EQ(BitVector(64).MemoryBytes(), 8u);
+  EXPECT_EQ(BitVector(65).MemoryBytes(), 16u);
+}
+
+}  // namespace
+}  // namespace semis

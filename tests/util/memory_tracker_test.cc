@@ -1,0 +1,70 @@
+#include "util/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace semis {
+namespace {
+
+TEST(MemoryTrackerTest, AddAndPeak) {
+  MemoryTracker mt;
+  mt.Add("a", 100);
+  mt.Add("b", 50);
+  EXPECT_EQ(mt.CurrentBytes(), 150u);
+  EXPECT_EQ(mt.PeakBytes(), 150u);
+  mt.Sub("a", 100);
+  EXPECT_EQ(mt.CurrentBytes(), 50u);
+  EXPECT_EQ(mt.PeakBytes(), 150u);  // peak sticks
+  mt.Add("a", 200);
+  EXPECT_EQ(mt.PeakBytes(), 250u);
+}
+
+TEST(MemoryTrackerTest, PerCategoryAccounting) {
+  MemoryTracker mt;
+  mt.Add("state", 10);
+  mt.Add("isn", 40);
+  EXPECT_EQ(mt.CategoryBytes("state"), 10u);
+  EXPECT_EQ(mt.CategoryBytes("isn"), 40u);
+  EXPECT_EQ(mt.CategoryBytes("missing"), 0u);
+  mt.Sub("isn", 15);
+  EXPECT_EQ(mt.CategoryBytes("isn"), 25u);
+  EXPECT_EQ(mt.CategoryPeakBytes("isn"), 40u);
+}
+
+TEST(MemoryTrackerTest, SubClampsAtZero) {
+  MemoryTracker mt;
+  mt.Add("a", 10);
+  mt.Sub("a", 100);  // over-release must not underflow
+  EXPECT_EQ(mt.CategoryBytes("a"), 0u);
+  EXPECT_EQ(mt.CurrentBytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, SetMovesBothDirections) {
+  MemoryTracker mt;
+  mt.Set("sc", 1000);
+  EXPECT_EQ(mt.CategoryBytes("sc"), 1000u);
+  mt.Set("sc", 400);
+  EXPECT_EQ(mt.CategoryBytes("sc"), 400u);
+  EXPECT_EQ(mt.CategoryPeakBytes("sc"), 1000u);
+  mt.Set("sc", 1200);
+  EXPECT_EQ(mt.PeakBytes(), 1200u);
+}
+
+TEST(MemoryTrackerTest, CategoriesSorted) {
+  MemoryTracker mt;
+  mt.Add("zeta", 1);
+  mt.Add("alpha", 1);
+  auto cats = mt.Categories();
+  ASSERT_EQ(cats.size(), 2u);
+  EXPECT_EQ(cats[0], "alpha");
+  EXPECT_EQ(cats[1], "zeta");
+}
+
+TEST(MemoryTrackerTest, FormatBytes) {
+  EXPECT_EQ(MemoryTracker::FormatBytes(512), "512B");
+  EXPECT_EQ(MemoryTracker::FormatBytes(4608), "4.5KB");
+  EXPECT_EQ(MemoryTracker::FormatBytes(5 << 20), "5.0MB");
+  EXPECT_EQ(MemoryTracker::FormatBytes(3ull << 30), "3.00GB");
+}
+
+}  // namespace
+}  // namespace semis

@@ -1,0 +1,93 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace semis {
+namespace {
+
+TEST(RandomTest, SameSeedSameStream) {
+  Random a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) equal++;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, ReseedRestartsStream) {
+  Random a(7);
+  uint64_t first = a.Next64();
+  a.Next64();
+  a.Reseed(7);
+  EXPECT_EQ(a.Next64(), first);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(3);
+  for (uint64_t n : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(n), n);
+    }
+  }
+}
+
+TEST(RandomTest, UniformCoversAllResidues) {
+  Random rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) seen[rng.Uniform(10)]++;
+  for (int count : seen) {
+    EXPECT_GT(count, 300);  // expectation 500; loose tolerance
+    EXPECT_LT(count, 700);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  std::vector<int> data(257);
+  std::iota(data.begin(), data.end(), 0);
+  Random rng(9);
+  rng.Shuffle(data.data(), data.size());
+  std::vector<int> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 257; ++i) EXPECT_EQ(sorted[i], i);
+  // And it actually moved something.
+  bool moved = false;
+  for (int i = 0; i < 257; ++i) {
+    if (data[i] != i) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(RandomTest, ShuffleEmptyAndSingleton) {
+  std::vector<int> empty;
+  Random rng(1);
+  rng.Shuffle(empty.data(), 0);  // must not crash
+  std::vector<int> one{42};
+  rng.Shuffle(one.data(), 1);
+  EXPECT_EQ(one[0], 42);
+}
+
+}  // namespace
+}  // namespace semis

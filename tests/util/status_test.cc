@@ -1,0 +1,58 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace semis {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryCodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status io = Status::IOError("disk on fire");
+  EXPECT_FALSE(io.ok());
+  EXPECT_TRUE(io.IsIOError());
+  EXPECT_EQ(io.message(), "disk on fire");
+  EXPECT_EQ(io.ToString(), "IOError: disk on fire");
+
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
+}
+
+TEST(StatusTest, CodesAreDistinct) {
+  EXPECT_NE(Status::IOError("a").code(), Status::Corruption("a").code());
+  EXPECT_NE(Status::NotFound("a").code(),
+            Status::InvalidArgument("a").code());
+}
+
+Status FailsThrough() {
+  SEMIS_RETURN_IF_ERROR(Status::Corruption("inner"));
+  return Status::OK();  // unreachable
+}
+
+Status Succeeds() {
+  SEMIS_RETURN_IF_ERROR(Status::OK());
+  return Status::InvalidArgument("reached the end");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(FailsThrough().IsCorruption());
+  EXPECT_TRUE(Succeeds().IsInvalidArgument());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::NotFound("gone");
+  Status b = a;
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(b.message(), "gone");
+}
+
+}  // namespace
+}  // namespace semis

@@ -1,0 +1,297 @@
+// semis command-line tool: the operational entry point a downstream user
+// drives from shell scripts. Wraps the library's pipelines:
+//
+//   semis_cli generate --vertices N [--beta B | --avg-degree D]
+//                      [--seed S] --out graph.adj
+//   semis_cli convert  <edges.txt> <graph.adj> [--memory-mb M]
+//   semis_cli sort     <graph.adj> <graph.sadj> [--memory-mb M] [--fan-in K]
+//   semis_cli stats    <graph.adj>
+//   semis_cli bound    <graph.adj>
+//   semis_cli solve    <graph.adj> [--algo baseline|greedy|onek|twok]
+//                      [--rounds R] [--out set.txt] [--verify]
+//   semis_cli cover    <graph.adj> [--out cover.txt]
+//   semis_cli color    <graph.sadj> [--mis-rounds R]
+//
+// Every command is semi-external: O(|V|) memory, sequential file I/O.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/coloring.h"
+#include "core/solver.h"
+#include "core/upper_bound.h"
+#include "core/verify.h"
+#include "core/vertex_cover.h"
+#include "gen/plrg.h"
+#include "graph/degree_sort.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "util/memory_tracker.h"
+
+namespace semis {
+namespace cli {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: semis_cli <command> [args]\n"
+      "  generate --vertices N [--beta B | --avg-degree D] [--seed S] "
+      "--out F\n"
+      "  convert  <edges.txt> <graph.adj> [--memory-mb M]\n"
+      "  sort     <graph.adj> <graph.sadj> [--memory-mb M] [--fan-in K]\n"
+      "  stats    <graph.adj>\n"
+      "  bound    <graph.adj>\n"
+      "  solve    <graph.adj> [--algo baseline|greedy|onek|twok] "
+      "[--rounds R] [--out set.txt] [--verify]\n"
+      "  cover    <graph.adj> [--out cover.txt]\n"
+      "  color    <graph.sadj> [--mis-rounds R]\n");
+  return 2;
+}
+
+// Tiny flag parser: positional args + --key value pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  static Args Parse(int argc, char** argv, int start) {
+    Args a;
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string key = arg.substr(2);
+        std::string value;
+        if (key == "verify") {  // boolean flag
+          value = "1";
+        } else if (i + 1 < argc) {
+          value = argv[++i];
+        }
+        a.flags.emplace_back(key, value);
+      } else {
+        a.positional.push_back(arg);
+      }
+    }
+    return a;
+  }
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    for (const auto& [k, v] : flags) {
+      if (k == key) return v;
+    }
+    return def;
+  }
+  bool Has(const std::string& key) const {
+    for (const auto& [k, v] : flags) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+};
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+Status WriteSetText(const BitVector& set, const std::string& path) {
+  SequentialFileWriter w;
+  SEMIS_RETURN_IF_ERROR(w.Open(path));
+  char line[32];
+  for (size_t v = 0; v < set.size(); ++v) {
+    if (set.Test(v)) {
+      int n = std::snprintf(line, sizeof(line), "%zu\n", v);
+      SEMIS_RETURN_IF_ERROR(w.Append(line, static_cast<size_t>(n)));
+    }
+  }
+  return w.Close();
+}
+
+int CmdGenerate(const Args& args) {
+  if (!args.Has("vertices") || !args.Has("out")) return Usage();
+  uint64_t n = std::strtoull(args.Get("vertices").c_str(), nullptr, 10);
+  uint64_t seed = std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
+  PlrgSpec spec;
+  if (args.Has("avg-degree")) {
+    spec = PlrgSpec::ForVerticesAndAvgDegree(
+        n, std::atof(args.Get("avg-degree").c_str()));
+  } else {
+    spec = PlrgSpec::ForVertexCount(n,
+                                    std::atof(args.Get("beta", "2.0").c_str()));
+  }
+  Graph g = GeneratePlrg(spec, seed);
+  Status s = WriteGraphToAdjacencyFile(g, args.Get("out"));
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %u vertices, %llu edges (alpha=%.2f beta=%.2f)\n",
+              args.Get("out").c_str(), g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()), spec.alpha,
+              spec.beta);
+  return 0;
+}
+
+int CmdConvert(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  EdgeListConvertOptions opts;
+  opts.memory_budget_bytes =
+      std::strtoull(args.Get("memory-mb", "64").c_str(), nullptr, 10) << 20;
+  IoStats io;
+  opts.stats = &io;
+  Status s = ConvertEdgeListToAdjacencyFile(args.positional[0],
+                                            args.positional[1], opts);
+  if (!s.ok()) return Fail(s);
+  std::printf("converted %s -> %s (%s read, %s written)\n",
+              args.positional[0].c_str(), args.positional[1].c_str(),
+              MemoryTracker::FormatBytes(io.bytes_read).c_str(),
+              MemoryTracker::FormatBytes(io.bytes_written).c_str());
+  return 0;
+}
+
+int CmdSort(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  DegreeSortOptions opts;
+  opts.memory_budget_bytes =
+      std::strtoull(args.Get("memory-mb", "64").c_str(), nullptr, 10) << 20;
+  opts.fan_in = std::strtoull(args.Get("fan-in", "16").c_str(), nullptr, 10);
+  IoStats io;
+  opts.stats = &io;
+  Status s = BuildDegreeSortedAdjacencyFile(args.positional[0],
+                                            args.positional[1], opts);
+  if (!s.ok()) return Fail(s);
+  std::printf("degree-sorted %s -> %s (%llu sort passes)\n",
+              args.positional[0].c_str(), args.positional[1].c_str(),
+              static_cast<unsigned long long>(io.sort_passes));
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  GraphStats stats;
+  Status s = ComputeGraphStatsFromFile(args.positional[0], &stats);
+  if (!s.ok()) return Fail(s);
+  std::printf("vertices      : %llu\n",
+              static_cast<unsigned long long>(stats.num_vertices));
+  std::printf("edges         : %llu\n",
+              static_cast<unsigned long long>(stats.num_edges));
+  std::printf("degree min/avg/max : %u / %.2f / %u\n", stats.min_degree,
+              stats.avg_degree, stats.max_degree);
+  std::printf("isolated      : %llu\n",
+              static_cast<unsigned long long>(stats.isolated_vertices));
+  std::printf("power-law fit : beta=%.2f alpha=%.2f\n", stats.EstimateBeta(),
+              stats.EstimateAlpha());
+  return 0;
+}
+
+int CmdBound(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  uint64_t bound = 0;
+  IoStats io;
+  Status s =
+      ComputeIndependenceUpperBoundFile(args.positional[0], &bound, &io);
+  if (!s.ok()) return Fail(s);
+  std::printf("independence number <= %llu (1 scan, %s read)\n",
+              static_cast<unsigned long long>(bound),
+              MemoryTracker::FormatBytes(io.bytes_read).c_str());
+  return 0;
+}
+
+int CmdSolve(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  SolverOptions opts;
+  std::string algo = args.Get("algo", "twok");
+  if (algo == "baseline") {
+    opts.degree_sort = false;
+    opts.swap = SwapMode::kNone;
+  } else if (algo == "greedy") {
+    opts.swap = SwapMode::kNone;
+  } else if (algo == "onek") {
+    opts.swap = SwapMode::kOneK;
+  } else if (algo == "twok") {
+    opts.swap = SwapMode::kTwoK;
+  } else {
+    return Usage();
+  }
+  opts.max_swap_rounds =
+      static_cast<uint32_t>(std::atoi(args.Get("rounds", "0").c_str()));
+  opts.verify = args.Has("verify");
+  Solver solver(opts);
+  SolveResult res;
+  Status s = solver.SolveFile(args.positional[0], &res);
+  if (!s.ok()) return Fail(s);
+  std::printf("independent set: %llu vertices\n",
+              static_cast<unsigned long long>(res.set_size));
+  std::printf("  greedy stage : %llu, swaps added %llu in %llu rounds\n",
+              static_cast<unsigned long long>(res.greedy.set_size),
+              static_cast<unsigned long long>(res.set_size -
+                                              res.greedy.set_size),
+              static_cast<unsigned long long>(res.swap.rounds));
+  std::printf("  time %.2fs, peak memory %s, %llu scans, %s read\n",
+              res.seconds,
+              MemoryTracker::FormatBytes(res.peak_memory_bytes).c_str(),
+              static_cast<unsigned long long>(res.io.sequential_scans),
+              MemoryTracker::FormatBytes(res.io.bytes_read).c_str());
+  if (args.Has("out")) {
+    s = WriteSetText(res.set, args.Get("out"));
+    if (!s.ok()) return Fail(s);
+    std::printf("  members written to %s\n", args.Get("out").c_str());
+  }
+  return 0;
+}
+
+int CmdCover(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  VertexCoverResult res;
+  Status s =
+      ComputeVertexCoverFile(args.positional[0], SolverOptions{}, &res);
+  if (!s.ok()) return Fail(s);
+  std::printf("vertex cover: %llu vertices (complement of a %llu-vertex "
+              "independent set)\n",
+              static_cast<unsigned long long>(res.cover_size),
+              static_cast<unsigned long long>(res.mis.set_size));
+  if (args.Has("out")) {
+    s = WriteSetText(res.cover, args.Get("out"));
+    if (!s.ok()) return Fail(s);
+    std::printf("  members written to %s\n", args.Get("out").c_str());
+  }
+  return 0;
+}
+
+int CmdColor(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  ColoringOptions opts;
+  opts.max_mis_rounds =
+      static_cast<uint32_t>(std::atoi(args.Get("mis-rounds", "8").c_str()));
+  ColoringResult res;
+  Status s = ComputeGreedyColoringFile(args.positional[0], opts, &res);
+  if (!s.ok()) return Fail(s);
+  uint64_t conflicts = 0;
+  s = VerifyColoringFile(args.positional[0], res.color, &conflicts);
+  if (!s.ok()) return Fail(s);
+  std::printf("coloring: %u colors (%llu vertices via MIS rounds), "
+              "verified %s\n",
+              res.num_colors,
+              static_cast<unsigned long long>(res.colored_by_mis),
+              conflicts == 0 ? "proper" : "IMPROPER");
+  return conflicts == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Args args = Args::Parse(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "convert") return CmdConvert(args);
+  if (cmd == "sort") return CmdSort(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "bound") return CmdBound(args);
+  if (cmd == "solve") return CmdSolve(args);
+  if (cmd == "cover") return CmdCover(args);
+  if (cmd == "color") return CmdColor(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace semis
+
+int main(int argc, char** argv) { return semis::cli::Main(argc, argv); }
