@@ -24,9 +24,15 @@ ScratchDir& ScratchDir::operator=(ScratchDir&& other) noexcept {
 }
 
 Status ScratchDir::Create(const std::string& prefix, ScratchDir* out) {
-  const char* base = std::getenv("TMPDIR");
-  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/" +
-                     prefix + ".XXXXXX";
+  if (out == nullptr) {
+    return Status::InvalidArgument("ScratchDir::Create: out must be non-null");
+  }
+  const char* env = std::getenv("TMPDIR");
+  std::string base = (env != nullptr && env[0] != '\0') ? env : "/tmp";
+  // A trailing slash in TMPDIR would otherwise yield "//" in the template.
+  while (base.size() > 1 && base.back() == '/') base.pop_back();
+  std::string tmpl =
+      base + (base.back() == '/' ? "" : "/") + prefix + ".XXXXXX";
   // mkdtemp mutates its argument in place.
   std::string buf = tmpl;
   if (::mkdtemp(buf.data()) == nullptr) {

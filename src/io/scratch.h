@@ -23,8 +23,9 @@ class ScratchDir {
   ScratchDir(const ScratchDir&) = delete;
   ScratchDir& operator=(const ScratchDir&) = delete;
 
-  /// Creates a fresh directory under $TMPDIR (or /tmp) named
-  /// `<prefix>.XXXXXX`.
+  /// Creates a fresh directory under $TMPDIR (or /tmp when unset/empty)
+  /// named `<prefix>.XXXXXX`. Trailing slashes in $TMPDIR are ignored.
+  /// Returns InvalidArgument when `out` is null.
   static Status Create(const std::string& prefix, ScratchDir* out);
 
   /// Absolute path of the directory ("" if not created).

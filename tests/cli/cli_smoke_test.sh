@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for semis_cli, registered with CTest.
+#
+#   cli_smoke_test.sh <path-to-semis_cli>
+#
+# Covers the usage exit-code contract (bad usage -> non-zero, --help -> 0)
+# and the full pipeline: generate -> convert -> sort -> solve --verify.
+set -u
+
+CLI="$1"
+work="$(mktemp -d "${TMPDIR:-/tmp}/semis-cli-smoke.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# --- usage exit codes and streams ------------------------------------------
+"$CLI" >/dev/null 2>&1 && fail "no-argument invocation exited 0"
+"$CLI" frobnicate >/dev/null 2>&1 && fail "unknown command exited 0"
+"$CLI" solve >/dev/null 2>&1 && fail "solve with no input exited 0"
+"$CLI" generate >/dev/null 2>&1 && fail "generate with no flags exited 0"
+"$CLI" --help >/dev/null 2>&1 || fail "--help exited non-zero"
+"$CLI" help >/dev/null 2>&1 || fail "help exited non-zero"
+"$CLI" solve --help >/dev/null 2>&1 || fail "solve --help exited non-zero"
+# Help goes to stdout; usage-on-error goes to stderr only.
+[ -n "$("$CLI" --help 2>/dev/null)" ] || fail "--help printed nothing on stdout"
+[ -z "$("$CLI" frobnicate 2>/dev/null)" ] || fail "usage error wrote to stdout"
+[ -n "$("$CLI" frobnicate 2>&1 >/dev/null)" ] || fail "usage error silent on stderr"
+
+# --- pipeline on a generated PLRG graph ------------------------------------
+set -e
+"$CLI" generate --vertices 2000 --avg-degree 4 --seed 7 --out "$work/g.adj"
+"$CLI" stats "$work/g.adj"
+"$CLI" bound "$work/g.adj"
+"$CLI" sort "$work/g.adj" "$work/g.sadj" --memory-mb 8
+"$CLI" solve "$work/g.sadj" --algo twok --verify --out "$work/set.txt"
+[ -s "$work/set.txt" ] || fail "solve --out produced an empty member list"
+
+# --- pipeline from a hand-written edge list --------------------------------
+printf '# toy graph\n0\t1\n1\t2\n2\t0\n2\t3\n3\t4\n4\t0\n' > "$work/edges.txt"
+"$CLI" convert "$work/edges.txt" "$work/e.adj" --memory-mb 8
+"$CLI" sort "$work/e.adj" "$work/e.sadj" --memory-mb 8
+"$CLI" solve "$work/e.sadj" --algo onek --verify
+
+echo "PASS"

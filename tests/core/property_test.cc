@@ -99,7 +99,9 @@ TEST_P(MisPropertyTest, AllInvariantsHold) {
     EXPECT_EQ(res.in_set.Count(), res.set_size);
     EXPECT_GE(res.set_size, floor_size);
     EXPECT_LE(res.set_size, upper);
-    if (tiny) EXPECT_LE(res.set_size, exact_alpha);
+    if (tiny) {
+      EXPECT_LE(res.set_size, exact_alpha);
+    }
   };
 
   AlgoResult baseline, greedy;

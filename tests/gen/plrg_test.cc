@@ -45,7 +45,9 @@ TEST(PlrgTest, GeneratedGraphIsSimpleAndSized) {
     auto nbrs = g.Neighbors(v);
     for (size_t i = 0; i < nbrs.size(); ++i) {
       EXPECT_NE(nbrs[i], v);
-      if (i > 0) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+      if (i > 0) {
+        EXPECT_LT(nbrs[i - 1], nbrs[i]);
+      }
     }
   }
 }

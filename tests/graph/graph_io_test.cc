@@ -161,7 +161,9 @@ TEST_F(GraphIoTest, ConvertKeepsIsolatedVertexRecords) {
     ASSERT_OK(scanner.Next(&rec, &has_next));
     if (!has_next) break;
     records++;
-    if (rec.id == 1) EXPECT_EQ(rec.degree, 0u);
+    if (rec.id == 1) {
+      EXPECT_EQ(rec.degree, 0u);
+    }
   }
   EXPECT_EQ(records, 4);
 }

@@ -1,0 +1,127 @@
+#include "io/scratch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+// Saves/restores TMPDIR around a test so the suite can mutate it freely.
+class TmpdirGuard {
+ public:
+  TmpdirGuard() {
+    const char* cur = std::getenv("TMPDIR");
+    had_value_ = cur != nullptr;
+    if (had_value_) saved_ = cur;
+  }
+  ~TmpdirGuard() {
+    if (had_value_) {
+      ::setenv("TMPDIR", saved_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv("TMPDIR");
+    }
+  }
+
+ private:
+  bool had_value_ = false;
+  std::string saved_;
+};
+
+TEST(ScratchDirTest, CreateMakesWritableDirectory) {
+  ScratchDir dir;
+  ASSERT_OK(ScratchDir::Create("semis-scratch-test", &dir));
+  ASSERT_FALSE(dir.path().empty());
+  EXPECT_TRUE(std::filesystem::is_directory(dir.path()));
+
+  std::string file = dir.NewFilePath("spill");
+  std::ofstream(file) << "payload";
+  EXPECT_TRUE(std::filesystem::exists(file));
+}
+
+TEST(ScratchDirTest, NullOutIsInvalidArgumentNotACrash) {
+  Status s = ScratchDir::Create("semis-scratch-test", nullptr);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(ScratchDirTest, TrailingSlashInTmpdirIsNormalized) {
+  TmpdirGuard guard;
+  ScratchDir base;
+  ASSERT_OK(ScratchDir::Create("semis-scratch-base", &base));
+
+  for (const char* suffix : {"/", "///"}) {
+    ::setenv("TMPDIR", (base.path() + suffix).c_str(), /*overwrite=*/1);
+    ScratchDir dir;
+    ASSERT_OK(ScratchDir::Create("slash", &dir));
+    EXPECT_EQ(dir.path().find("//"), std::string::npos) << dir.path();
+    EXPECT_EQ(dir.path().rfind(base.path() + "/slash.", 0), 0) << dir.path();
+    EXPECT_TRUE(std::filesystem::is_directory(dir.path()));
+  }
+}
+
+TEST(ScratchDirTest, EmptyTmpdirFallsBackToTmp) {
+  TmpdirGuard guard;
+  ::setenv("TMPDIR", "", /*overwrite=*/1);
+  ScratchDir dir;
+  ASSERT_OK(ScratchDir::Create("semis-scratch-empty", &dir));
+  EXPECT_EQ(dir.path().rfind("/tmp/semis-scratch-empty.", 0), 0) << dir.path();
+}
+
+TEST(ScratchDirTest, NewFilePathsAreUnique) {
+  ScratchDir dir;
+  ASSERT_OK(ScratchDir::Create("semis-scratch-test", &dir));
+  std::string a = dir.NewFilePath("run");
+  std::string b = dir.NewFilePath("run");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.rfind(dir.path() + "/run.", 0), 0) << a;
+}
+
+TEST(ScratchDirTest, RemoveDeletesTreeAndDestructorIsIdempotent) {
+  std::string path;
+  {
+    ScratchDir dir;
+    ASSERT_OK(ScratchDir::Create("semis-scratch-test", &dir));
+    path = dir.path();
+    std::ofstream(dir.NewFilePath("spill")) << "payload";
+    dir.Remove();
+    EXPECT_TRUE(dir.path().empty());
+    EXPECT_FALSE(std::filesystem::exists(path));
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ScratchDirTest, MoveTransfersOwnership) {
+  ScratchDir a;
+  ASSERT_OK(ScratchDir::Create("semis-scratch-test", &a));
+  std::string path = a.path();
+
+  ScratchDir b = std::move(a);
+  EXPECT_TRUE(a.path().empty());
+  EXPECT_EQ(b.path(), path);
+  EXPECT_TRUE(std::filesystem::is_directory(path));
+
+  ScratchDir c;
+  c = std::move(b);
+  EXPECT_EQ(c.path(), path);
+  c.Remove();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ScratchDirTest, CreateIntoExistingScratchReplacesIt) {
+  ScratchDir dir;
+  ASSERT_OK(ScratchDir::Create("semis-scratch-test", &dir));
+  std::string first = dir.path();
+  ASSERT_OK(ScratchDir::Create("semis-scratch-test", &dir));
+  EXPECT_NE(dir.path(), first);
+  EXPECT_FALSE(std::filesystem::exists(first));
+  EXPECT_TRUE(std::filesystem::is_directory(dir.path()));
+}
+
+}  // namespace
+}  // namespace semis

@@ -34,9 +34,9 @@ namespace semis {
 namespace cli {
 namespace {
 
-int Usage() {
+void PrintUsage(std::FILE* to) {
   std::fprintf(
-      stderr,
+      to,
       "usage: semis_cli <command> [args]\n"
       "  generate --vertices N [--beta B | --avg-degree D] [--seed S] "
       "--out F\n"
@@ -48,19 +48,31 @@ int Usage() {
       "[--rounds R] [--out set.txt] [--verify]\n"
       "  cover    <graph.adj> [--out cover.txt]\n"
       "  color    <graph.sadj> [--mis-rounds R]\n");
-  return 2;
 }
 
-// Tiny flag parser: positional args + --key value pairs.
+// Bad usage (missing/unknown command or arguments) is an error: print the
+// usage to stderr and exit non-zero. Only an explicit help request prints
+// to stdout and exits 0.
+int Usage() {
+  PrintUsage(stderr);
+  return 1;
+}
+
+// Tiny flag parser: positional args + --key value pairs. A --help/-h in
+// flag position (not consumed as the value of a preceding --key) requests
+// usage output.
 struct Args {
   std::vector<std::string> positional;
   std::vector<std::pair<std::string, std::string>> flags;
+  bool help = false;
 
   static Args Parse(int argc, char** argv, int start) {
     Args a;
     for (int i = start; i < argc; ++i) {
       std::string arg = argv[i];
-      if (arg.rfind("--", 0) == 0) {
+      if (arg == "--help" || arg == "-h") {
+        a.help = true;
+      } else if (arg.rfind("--", 0) == 0) {
         std::string key = arg.substr(2);
         std::string value;
         if (key == "verify") {  // boolean flag
@@ -278,7 +290,15 @@ int CmdColor(const Args& args) {
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    PrintUsage(stdout);
+    return 0;
+  }
   Args args = Args::Parse(argc, argv, 2);
+  if (args.help) {
+    PrintUsage(stdout);
+    return 0;
+  }
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "convert") return CmdConvert(args);
   if (cmd == "sort") return CmdSort(args);
