@@ -1,0 +1,607 @@
+#include "core/parallel_swap.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/sharded_adjacency_file.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace semis {
+
+namespace {
+
+// Normalized key of an IS pair {w1, w2} (as in two_k_swap.cc).
+uint64_t PairKey(VertexId a, VertexId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+VertexId PairFirst(uint64_t key) { return static_cast<VertexId>(key >> 32); }
+VertexId PairSecond(uint64_t key) {
+  return static_cast<VertexId>(key & 0xFFFFFFFFull);
+}
+
+// Per-vertex commit decision of one round, written only by the worker
+// scanning the vertex's record.
+enum class Decision : uint8_t { kNone = 0, kEnter, kLeave, kDenied };
+
+class ParallelSwapRun {
+ public:
+  ParallelSwapRun(const std::string& manifest_path,
+                  ShardedAdjacencyManifest manifest,
+                  const ParallelSwapOptions& options)
+      : options_(options),
+        manifest_path_(manifest_path),
+        manifest_(std::move(manifest)),
+        n_(manifest_.header.num_vertices),
+        pool_(options.num_threads),
+        worker_io_(pool_.size()),
+        state_(n_),
+        isn1_(n_, kInvalidVertex),
+        isn2_(n_, kInvalidVertex),
+        cnt_(n_),
+        mark_r_(n_),
+        decision_(n_, Decision::kNone),
+        free_(n_, 0) {}
+
+  Status Execute(const BitVector& initial_set, AlgoResult* res);
+
+ private:
+  // Shard-local SC structures of the 2<->k discovery (Algorithm 4),
+  // reset for every shard so discovery never depends on which worker
+  // scans which shard.
+  struct ShardContext {
+    struct Bucket {
+      std::vector<VertexId> anchors;
+      std::vector<std::pair<VertexId, VertexId>> pairs;
+      bool freed = false;
+    };
+    std::unordered_map<uint64_t, Bucket> buckets;
+    std::unordered_map<VertexId, std::vector<uint64_t>> keys_with_w;
+    // IS vertices this shard already marked for removal, and non-IS
+    // vertices already consumed by a fired skeleton.
+    std::unordered_set<VertexId> removed;
+    std::unordered_set<VertexId> used;
+    uint64_t sc_vertices = 0;
+
+    size_t ApproxBytes() const {
+      size_t bytes = 0;
+      for (const auto& kv : buckets) {
+        bytes += sizeof(kv) + kv.second.anchors.capacity() * sizeof(VertexId) +
+                 kv.second.pairs.capacity() *
+                     sizeof(std::pair<VertexId, VertexId>);
+      }
+      for (const auto& kv : keys_with_w) {
+        bytes += sizeof(kv) + kv.second.capacity() * sizeof(uint64_t);
+      }
+      bytes += (removed.size() + used.size()) * 2 * sizeof(VertexId);
+      return bytes;
+    }
+  };
+
+  VState State(VertexId v) const {
+    return static_cast<VState>(state_[v].load(std::memory_order_relaxed));
+  }
+  void SetState(VertexId v, VState s) {
+    state_[v].store(static_cast<uint8_t>(s), std::memory_order_relaxed);
+  }
+  bool MarkedR(VertexId v) const {
+    return mark_r_[v].load(std::memory_order_relaxed) != 0;
+  }
+  bool IsAnchor(VertexId v) const { return isn2_[v] != kInvalidVertex; }
+
+  /// A vertex joins the entering wave iff it is labeled A and every one of
+  /// its ISN vertices was marked for removal. Evaluated against state
+  /// frozen at the proposal-phase barrier, so it is scan-order free.
+  bool EnterCandidate(VertexId v) const {
+    if (State(v) != VState::kA) return false;
+    if (!MarkedR(isn1_[v])) return false;
+    const VertexId w2 = isn2_[v];
+    return w2 == kInvalidVertex || MarkedR(w2);
+  }
+
+  // One full pass over the file: runs `per_shard(shard, worker)` for every
+  // shard, distributed over the pool, short-circuiting a worker after its
+  // first error. Returns the first per-worker error.
+  template <typename PerShard>
+  Status RunShardPass(PerShard&& per_shard) {
+    std::vector<Status> worker_status(pool_.size());
+    pool_.ParallelFor(
+        manifest_.num_shards(), [&](size_t shard, size_t worker) {
+          if (!worker_status[worker].ok()) return;
+          worker_status[worker] =
+              per_shard(static_cast<uint32_t>(shard), worker);
+        });
+    scans_started_++;
+    for (const Status& s : worker_status) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  // Runs `fn(rec, worker)` over every record of every shard.
+  template <typename Fn>
+  Status ScanShards(Fn&& fn) {
+    return RunShardPass([&](uint32_t shard, size_t worker) {
+      return ScanOneShard(shard, worker,
+                          [&](const VertexRecord& rec) { fn(rec, worker); });
+    });
+  }
+
+  template <typename RecordFn>
+  Status ScanOneShard(uint32_t shard, size_t worker, RecordFn&& fn) {
+    AdjacencyShardReader reader(&worker_io_[worker]);
+    SEMIS_RETURN_IF_ERROR(reader.Open(manifest_path_, manifest_, shard));
+    VertexRecord rec;
+    bool has_next = false;
+    while (true) {
+      SEMIS_RETURN_IF_ERROR(reader.Next(&rec, &has_next));
+      if (!has_next) break;
+      fn(rec);
+    }
+    return reader.Close();
+  }
+
+  Status LabelScan();
+  Status ProposalScan(RoundStats* round, AlgoResult* res);
+  Status SwapScan();
+  void ApplySwaps(RoundStats* round);
+  Status FreeScan();
+  Status JoinScan();
+  uint64_t ApplyJoins(RoundStats* round);
+
+  // --- proposal-scan helpers (shard-local, snapshot state only) ---
+  bool IsLive(VertexId w, const ShardContext& ctx) const {
+    return State(w) == VState::kI && ctx.removed.count(w) == 0;
+  }
+  void MarkRemove(VertexId w, ShardContext* ctx) {
+    mark_r_[w].store(1, std::memory_order_relaxed);
+    ctx->removed.insert(w);
+  }
+  void StampNeighbors(const VertexRecord& rec, size_t worker);
+  bool Stamped(VertexId v, size_t worker) const {
+    return stamp_[worker][v] == token_[worker];
+  }
+  void ProposalVertex(const VertexRecord& rec, size_t worker,
+                      ShardContext* ctx, RoundStats* round);
+  void TryTwoKSwap(const VertexRecord& rec, size_t worker, ShardContext* ctx,
+                   RoundStats* round);
+
+  const ParallelSwapOptions& options_;
+  const std::string manifest_path_;
+  const ShardedAdjacencyManifest manifest_;
+  const uint64_t n_;
+  ThreadPool pool_;
+  std::vector<IoStats> worker_io_;
+  uint64_t scans_started_ = 0;
+
+  // Shared vertex-state tables. `state_` is atomic because the label scan
+  // relabels non-IS vertices while other workers test neighbors for
+  // IS-ness; IS-ness itself never changes inside a scan, so relaxed
+  // ordering cannot change any outcome.
+  std::vector<std::atomic<uint8_t>> state_;
+  std::vector<VertexId> isn1_;
+  std::vector<VertexId> isn2_;
+  std::vector<std::atomic<uint32_t>> cnt_;  // |ISN^-1(w)| per IS vertex
+  std::vector<std::atomic<uint8_t>> mark_r_;
+  std::vector<Decision> decision_;
+  std::vector<uint8_t> free_;  // 1 = not in IS and no IS neighbor
+
+  // Per-worker neighborhood stamps for O(1) adjacency tests against the
+  // record in hand (two-k discovery only).
+  std::vector<std::vector<uint32_t>> stamp_;
+  std::vector<uint32_t> token_;
+
+  // Per-round accumulators shared across workers (commutative adds only).
+  std::atomic<uint64_t> round_one_k_{0};
+  std::atomic<uint64_t> round_two_k_{0};
+  std::atomic<uint64_t> sc_scan_vertices_{0};
+  std::atomic<uint64_t> sc_scan_bytes_{0};
+
+  uint64_t is_size_ = 0;
+  uint64_t sc_peak_vertices_ = 0;
+};
+
+Status ParallelSwapRun::LabelScan() {
+  for (uint64_t v = 0; v < n_; ++v) {
+    cnt_[v].store(0, std::memory_order_relaxed);
+  }
+  return ScanShards([this](const VertexRecord& rec, size_t) {
+    const VertexId u = rec.id;
+    if (State(u) == VState::kI) return;
+    VertexId e1 = kInvalidVertex, e2 = kInvalidVertex;
+    uint32_t count = 0;
+    for (uint32_t i = 0; i < rec.degree && count < 3; ++i) {
+      const VertexId nb = rec.neighbors[i];
+      if (State(nb) == VState::kI) {
+        if (count == 0) {
+          e1 = nb;
+        } else if (count == 1) {
+          e2 = nb;
+        }
+        count++;
+      }
+    }
+    if (count == 1) {
+      SetState(u, VState::kA);
+      isn1_[u] = e1;
+      isn2_[u] = kInvalidVertex;
+      cnt_[e1].fetch_add(1, std::memory_order_relaxed);
+    } else if (count == 2 && options_.enable_two_k) {
+      SetState(u, VState::kA);
+      isn1_[u] = e1;
+      isn2_[u] = e2;
+    } else {
+      SetState(u, VState::kN);
+      isn1_[u] = kInvalidVertex;
+      isn2_[u] = kInvalidVertex;
+    }
+  });
+}
+
+void ParallelSwapRun::StampNeighbors(const VertexRecord& rec, size_t worker) {
+  if (stamp_[worker].empty()) stamp_[worker].assign(n_, 0);
+  if (++token_[worker] == 0) {  // wrapped: clear and restart
+    std::fill(stamp_[worker].begin(), stamp_[worker].end(), 0);
+    token_[worker] = 1;
+  }
+  for (uint32_t i = 0; i < rec.degree; ++i) {
+    stamp_[worker][rec.neighbors[i]] = token_[worker];
+  }
+}
+
+void ParallelSwapRun::TryTwoKSwap(const VertexRecord& rec, size_t worker,
+                                  ShardContext* ctx, RoundStats* round) {
+  // Shard-local Algorithm 4: register u in SC(w1, w2), pair it with an
+  // earlier compatible anchor, and fire the 2-3 skeleton when u is the
+  // third mutually non-adjacent vertex. `ctx` carries the scan-order
+  // context; it never leaves the shard, so discovery is identical no
+  // matter which worker runs it.
+  const VertexId u = rec.id;
+  const bool anchor = IsAnchor(u);
+  const VertexId w1 = isn1_[u];
+  const VertexId w2 = isn2_[u];
+  StampNeighbors(rec, worker);
+
+  if (anchor && IsLive(w1, *ctx) && IsLive(w2, *ctx)) {
+    const uint64_t key = PairKey(w1, w2);
+    auto [it, inserted] = ctx->buckets.try_emplace(key);
+    ShardContext::Bucket& bucket = it->second;
+    if (inserted) {
+      ctx->keys_with_w[w1].push_back(key);
+      ctx->keys_with_w[w2].push_back(key);
+    }
+    if (bucket.pairs.size() < options_.max_pairs_per_bucket) {
+      VertexId partner = kInvalidVertex;
+      for (VertexId v : bucket.anchors) {
+        if (v != u && ctx->used.count(v) == 0 && !Stamped(v, worker)) {
+          partner = v;
+          break;
+        }
+      }
+      if (partner != kInvalidVertex) bucket.pairs.emplace_back(u, partner);
+    }
+    bucket.anchors.push_back(u);
+    ctx->sc_vertices++;
+  } else if (!anchor && IsLive(w1, *ctx)) {
+    auto kit = ctx->keys_with_w.find(w1);
+    if (kit != ctx->keys_with_w.end()) {
+      for (uint64_t key : kit->second) {
+        ShardContext::Bucket& bucket = ctx->buckets[key];
+        if (bucket.freed ||
+            bucket.pairs.size() >= options_.max_pairs_per_bucket) {
+          continue;
+        }
+        VertexId partner = kInvalidVertex;
+        for (VertexId v : bucket.anchors) {
+          if (v != u && ctx->used.count(v) == 0 && !Stamped(v, worker)) {
+            partner = v;
+            break;
+          }
+        }
+        if (partner != kInvalidVertex) {
+          bucket.pairs.emplace_back(partner, u);  // anchor first
+          ctx->sc_vertices++;
+          break;
+        }
+      }
+    }
+  }
+
+  // 2-3 skeleton with u as the third vertex.
+  const uint64_t single_key = anchor ? PairKey(w1, w2) : 0;
+  const std::vector<uint64_t>* keys = nullptr;
+  std::vector<uint64_t> one_key;
+  if (anchor) {
+    if (IsLive(w1, *ctx) && IsLive(w2, *ctx)) {
+      one_key.push_back(single_key);
+      keys = &one_key;
+    }
+  } else {
+    auto kit = ctx->keys_with_w.find(w1);
+    if (kit != ctx->keys_with_w.end()) keys = &kit->second;
+  }
+  if (keys == nullptr) return;
+  for (uint64_t key : *keys) {
+    auto bit = ctx->buckets.find(key);
+    if (bit == ctx->buckets.end() || bit->second.freed) continue;
+    const VertexId kw1 = PairFirst(key), kw2 = PairSecond(key);
+    if (!IsLive(kw1, *ctx) || !IsLive(kw2, *ctx)) continue;
+    for (const auto& [v1, v2] : bit->second.pairs) {
+      if (v1 == u || v2 == u) continue;
+      if (ctx->used.count(v1) != 0 || ctx->used.count(v2) != 0) continue;
+      if (Stamped(v1, worker) || Stamped(v2, worker)) continue;
+      // Fire: (v1, v2, u) replace (kw1, kw2). The entering trio joins the
+      // wave via the all-ISN-removed rule at the swap scan.
+      ctx->used.insert(u);
+      ctx->used.insert(v1);
+      ctx->used.insert(v2);
+      MarkRemove(kw1, ctx);
+      MarkRemove(kw2, ctx);
+      bit->second.freed = true;
+      round->two_k_swaps++;  // per-round totals aggregated via atomics below
+      return;
+    }
+  }
+}
+
+void ParallelSwapRun::ProposalVertex(const VertexRecord& rec, size_t worker,
+                                     ShardContext* ctx, RoundStats* round) {
+  const VertexId u = rec.id;
+  if (State(u) != VState::kA) return;
+  if (ctx->used.count(u) != 0) return;  // already entering via a skeleton
+
+  if (options_.enable_two_k) {
+    TryTwoKSwap(rec, worker, ctx, round);
+    if (ctx->used.count(u) != 0) return;
+  }
+
+  // 1-2 swap skeleton via the ISN^-1 counting trick (Section 5.4): u has
+  // a non-adjacent partner sharing its single IS neighbor w iff
+  // |ISN^-1(w)| >= x + 2, where x counts u's A neighbors pointing at w.
+  // Only w's removal is marked here; u (and every other A vertex whose
+  // whole ISN leaves) joins the entering wave in the swap scan, which is
+  // exactly the paper's follower-join rule evaluated wave-wide.
+  if (IsAnchor(u)) return;  // an anchor's second IS neighbor stays
+  const VertexId w = isn1_[u];
+  if (!IsLive(w, *ctx)) return;
+  uint32_t x = 0;
+  for (uint32_t i = 0; i < rec.degree; ++i) {
+    const VertexId nb = rec.neighbors[i];
+    if (State(nb) == VState::kA && !IsAnchor(nb) && isn1_[nb] == w) x++;
+  }
+  if (cnt_[w].load(std::memory_order_relaxed) >= x + 2) {
+    MarkRemove(w, ctx);
+    round->one_k_swaps++;
+  }
+}
+
+Status ParallelSwapRun::ProposalScan(RoundStats* round, AlgoResult* res) {
+  sc_scan_vertices_.store(0, std::memory_order_relaxed);
+  sc_scan_bytes_.store(0, std::memory_order_relaxed);
+  std::atomic<uint64_t> one_k{0}, two_k{0};
+  SEMIS_RETURN_IF_ERROR(RunShardPass([&](uint32_t shard, size_t worker) {
+    ShardContext ctx;
+    RoundStats local;
+    Status s = ScanOneShard(shard, worker, [&](const VertexRecord& rec) {
+      ProposalVertex(rec, worker, &ctx, &local);
+    });
+    one_k.fetch_add(local.one_k_swaps, std::memory_order_relaxed);
+    two_k.fetch_add(local.two_k_swaps, std::memory_order_relaxed);
+    sc_scan_vertices_.fetch_add(ctx.sc_vertices, std::memory_order_relaxed);
+    sc_scan_bytes_.fetch_add(ctx.ApproxBytes(), std::memory_order_relaxed);
+    return s;
+  }));
+  round->one_k_swaps = one_k.load();
+  round->two_k_swaps = two_k.load();
+  const uint64_t sc_now = sc_scan_vertices_.load();
+  sc_peak_vertices_ = std::max(sc_peak_vertices_, sc_now);
+  res->memory.Set("sc", sc_scan_bytes_.load());
+  res->memory.Set("sc", 0);  // freed at end of scan; Set records the peak
+  return Status::OK();
+}
+
+Status ParallelSwapRun::SwapScan() {
+  return ScanShards([this](const VertexRecord& rec, size_t) {
+    const VertexId u = rec.id;
+    if (State(u) == VState::kI) {
+      if (MarkedR(u)) decision_[u] = Decision::kLeave;
+      return;
+    }
+    if (!EnterCandidate(u)) return;
+    // Lowest vertex id wins among adjacent entering candidates; a
+    // neighbor that stays in the IS blocks unconditionally (cannot happen
+    // for an A vertex whose whole ISN leaves, but kept as an invariant
+    // guard). The rule reads only barrier-frozen data, so the outcome is
+    // identical regardless of scan interleaving.
+    bool denied = false;
+    for (uint32_t i = 0; i < rec.degree; ++i) {
+      const VertexId nb = rec.neighbors[i];
+      if (State(nb) == VState::kI && !MarkedR(nb)) {
+        denied = true;
+        break;
+      }
+      if (nb < u && EnterCandidate(nb)) {
+        denied = true;
+        break;
+      }
+    }
+    decision_[u] = denied ? Decision::kDenied : Decision::kEnter;
+  });
+}
+
+void ParallelSwapRun::ApplySwaps(RoundStats* round) {
+  for (uint64_t v = 0; v < n_; ++v) {
+    switch (decision_[v]) {
+      case Decision::kLeave:
+        SetState(static_cast<VertexId>(v), VState::kN);
+        round->removed_is_vertices++;
+        is_size_--;
+        break;
+      case Decision::kEnter:
+        SetState(static_cast<VertexId>(v), VState::kI);
+        round->new_is_vertices++;
+        is_size_++;
+        break;
+      case Decision::kDenied:
+        round->denied_promotions++;
+        round->conflicts++;
+        break;
+      case Decision::kNone:
+        break;
+    }
+    decision_[v] = Decision::kNone;
+    mark_r_[v].store(0, std::memory_order_relaxed);
+  }
+}
+
+Status ParallelSwapRun::FreeScan() {
+  return ScanShards([this](const VertexRecord& rec, size_t) {
+    const VertexId u = rec.id;
+    if (State(u) == VState::kI) {
+      free_[u] = 0;
+      return;
+    }
+    bool has_is_neighbor = false;
+    for (uint32_t i = 0; i < rec.degree; ++i) {
+      if (State(rec.neighbors[i]) == VState::kI) {
+        has_is_neighbor = true;
+        break;
+      }
+    }
+    free_[u] = has_is_neighbor ? 0 : 1;
+  });
+}
+
+Status ParallelSwapRun::JoinScan() {
+  // 0<->1 swaps: a free vertex (no IS neighbor) joins iff it is the local
+  // minimum among the free vertices of its closed neighborhood -- the
+  // deterministic parallel counterpart of the sequential post-swap rule.
+  return ScanShards([this](const VertexRecord& rec, size_t) {
+    const VertexId u = rec.id;
+    if (!free_[u]) return;
+    for (uint32_t i = 0; i < rec.degree; ++i) {
+      const VertexId nb = rec.neighbors[i];
+      if (nb < u && free_[nb]) return;
+    }
+    decision_[u] = Decision::kEnter;
+  });
+}
+
+uint64_t ParallelSwapRun::ApplyJoins(RoundStats* round) {
+  uint64_t joined = 0;
+  for (uint64_t v = 0; v < n_; ++v) {
+    if (decision_[v] == Decision::kEnter) {
+      SetState(static_cast<VertexId>(v), VState::kI);
+      joined++;
+      is_size_++;
+    }
+    decision_[v] = Decision::kNone;
+  }
+  if (round != nullptr) {
+    round->zero_one_swaps += joined;
+    round->new_is_vertices += joined;
+  }
+  return joined;
+}
+
+Status ParallelSwapRun::Execute(const BitVector& initial_set,
+                                AlgoResult* res) {
+  res->memory.Add("state", n_ * sizeof(uint8_t));
+  res->memory.Add("isn", 2 * n_ * sizeof(VertexId));
+  res->memory.Add("counters", n_ * sizeof(uint32_t));
+  res->memory.Add("marks", n_ * sizeof(uint8_t));
+  res->memory.Add("decision", n_ * sizeof(Decision));
+  res->memory.Add("free", n_ * sizeof(uint8_t));
+  stamp_.resize(pool_.size());
+  token_.assign(pool_.size(), 0);
+  if (options_.enable_two_k) {
+    // Stamps are allocated lazily per worker, but charge them up front:
+    // every worker that touches a shard needs one.
+    res->memory.Add("stamps", pool_.size() * n_ * sizeof(uint32_t));
+  }
+
+  for (uint64_t v = 0; v < n_; ++v) {
+    const bool in = initial_set.Test(v);
+    SetState(static_cast<VertexId>(v), in ? VState::kI : VState::kN);
+    if (in) is_size_++;
+  }
+
+  uint64_t stalled_rounds = 0;
+  bool progress = true;
+  while (progress &&
+         (options_.max_rounds == 0 || res->rounds < options_.max_rounds)) {
+    const uint64_t size_before = is_size_;
+    RoundStats round;
+    WallTimer round_timer;
+    SEMIS_RETURN_IF_ERROR(LabelScan());
+    SEMIS_RETURN_IF_ERROR(ProposalScan(&round, res));
+    SEMIS_RETURN_IF_ERROR(SwapScan());
+    ApplySwaps(&round);
+    SEMIS_RETURN_IF_ERROR(FreeScan());
+    SEMIS_RETURN_IF_ERROR(JoinScan());
+    ApplyJoins(&round);
+    round.is_size_after = is_size_;
+    round.seconds = round_timer.ElapsedSeconds();
+    res->round_stats.push_back(round);
+    res->rounds++;
+    progress = round.removed_is_vertices + round.new_is_vertices > 0;
+    stalled_rounds = is_size_ > size_before ? 0 : stalled_rounds + 1;
+    if (options_.stall_round_limit > 0 &&
+        stalled_rounds >= options_.stall_round_limit) {
+      break;
+    }
+  }
+
+  if (options_.final_maximality_pass) {
+    while (true) {
+      SEMIS_RETURN_IF_ERROR(FreeScan());
+      SEMIS_RETURN_IF_ERROR(JoinScan());
+      if (ApplyJoins(nullptr) == 0) break;
+    }
+  }
+
+  res->in_set = BitVector(n_);
+  res->set_size = 0;
+  for (uint64_t v = 0; v < n_; ++v) {
+    if (State(static_cast<VertexId>(v)) == VState::kI) {
+      res->in_set.Set(v);
+      res->set_size++;
+    }
+  }
+  res->memory.Add("result-bitset", res->in_set.MemoryBytes());
+  res->peak_memory_bytes = res->memory.PeakBytes();
+  res->sc_peak_vertices = sc_peak_vertices_;
+
+  for (const IoStats& io : worker_io_) res->io.MergeFrom(io);
+  res->io.sequential_scans += scans_started_;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunParallelSwap(const std::string& manifest_path,
+                       const BitVector& initial_set,
+                       const ParallelSwapOptions& options,
+                       AlgoResult* result) {
+  WallTimer timer;
+  AlgoResult res;
+  ShardedAdjacencyManifest manifest;
+  SEMIS_RETURN_IF_ERROR(
+      ReadShardedAdjacencyManifest(manifest_path, &manifest, &res.io));
+  if (initial_set.size() != manifest.header.num_vertices) {
+    return Status::InvalidArgument(
+        "initial set size does not match graph vertex count");
+  }
+  ParallelSwapRun run(manifest_path, std::move(manifest), options);
+  SEMIS_RETURN_IF_ERROR(run.Execute(initial_set, &res));
+  res.seconds = timer.ElapsedSeconds();
+  *result = std::move(res);
+  return Status::OK();
+}
+
+}  // namespace semis

@@ -4,11 +4,13 @@
 
 #include "core/greedy.h"
 #include "core/one_k_swap.h"
+#include "core/parallel_swap.h"
 #include "core/two_k_swap.h"
 #include "core/verify.h"
 #include "graph/adjacency_file.h"
 #include "graph/degree_sort.h"
 #include "graph/graph_io.h"
+#include "graph/sharded_adjacency_file.h"
 #include "io/scratch.h"
 #include "util/timer.h"
 
@@ -20,22 +22,39 @@ Status Solver::SolveFile(const std::string& adjacency_path,
   SolveResult res;
   ScratchDir scratch;
   std::string work_path = adjacency_path;
+  MemoryTracker sort_memory;
+
+  // Directory for intermediate artifacts (sorted copy, shard files),
+  // created lazily on first use.
+  std::string inter_dir = options_.scratch_dir;
+  auto intermediate_dir = [&]() -> Status {
+    if (inter_dir.empty()) {
+      SEMIS_RETURN_IF_ERROR(ScratchDir::Create("semis-solver", &scratch));
+      inter_dir = scratch.path();
+    }
+    return Status::OK();
+  };
 
   if (options_.degree_sort) {
-    AdjacencyFileScanner probe(nullptr);
-    SEMIS_RETURN_IF_ERROR(probe.Open(adjacency_path));
-    if (!probe.header().IsDegreeSorted()) {
+    // The probe reads only the header; it is closed before the (possibly
+    // hours-long) sort so no file handle dangles across the stage, and
+    // its I/O is charged to the aggregate like every other read.
+    bool needs_sort = false;
+    {
+      AdjacencyFileScanner probe(&res.io);
+      SEMIS_RETURN_IF_ERROR(probe.Open(adjacency_path));
+      needs_sort = !probe.header().IsDegreeSorted();
+      SEMIS_RETURN_IF_ERROR(probe.Close());
+    }
+    if (needs_sort) {
       WallTimer sort_timer;
-      std::string dir = options_.scratch_dir;
-      if (dir.empty()) {
-        SEMIS_RETURN_IF_ERROR(ScratchDir::Create("semis-solver", &scratch));
-        dir = scratch.path();
-      }
-      work_path = dir + "/sorted.sadj";
+      SEMIS_RETURN_IF_ERROR(intermediate_dir());
+      work_path = inter_dir + "/sorted.sadj";
       DegreeSortOptions sort_opts;
       sort_opts.memory_budget_bytes = options_.sort_memory_budget_bytes;
       sort_opts.fan_in = options_.sort_fan_in;
       sort_opts.stats = &res.io;
+      sort_opts.memory = &sort_memory;
       SEMIS_RETURN_IF_ERROR(BuildDegreeSortedAdjacencyFile(
           adjacency_path, work_path, sort_opts));
       res.sort_seconds = sort_timer.ElapsedSeconds();
@@ -45,8 +64,24 @@ Status Solver::SolveFile(const std::string& adjacency_path,
   GreedyOptions greedy_opts;
   SEMIS_RETURN_IF_ERROR(RunGreedy(work_path, greedy_opts, &res.greedy));
 
+  const bool parallel_swap =
+      options_.num_shards > 1 && options_.swap != SwapMode::kNone;
   const AlgoResult* final_stage = &res.greedy;
-  if (options_.swap == SwapMode::kOneK) {
+  if (parallel_swap) {
+    WallTimer shard_timer;
+    SEMIS_RETURN_IF_ERROR(intermediate_dir());
+    const std::string manifest_path = inter_dir + "/sharded.sadjs";
+    SEMIS_RETURN_IF_ERROR(ShardAdjacencyFile(work_path, manifest_path,
+                                             options_.num_shards, &res.io));
+    res.shard_seconds = shard_timer.ElapsedSeconds();
+    ParallelSwapOptions swap_opts;
+    swap_opts.max_rounds = options_.max_swap_rounds;
+    swap_opts.num_threads = options_.num_threads;
+    swap_opts.enable_two_k = options_.swap == SwapMode::kTwoK;
+    SEMIS_RETURN_IF_ERROR(RunParallelSwap(manifest_path, res.greedy.in_set,
+                                          swap_opts, &res.swap));
+    final_stage = &res.swap;
+  } else if (options_.swap == SwapMode::kOneK) {
     OneKSwapOptions swap_opts;
     swap_opts.max_rounds = options_.max_swap_rounds;
     SEMIS_RETURN_IF_ERROR(
@@ -64,8 +99,9 @@ Status Solver::SolveFile(const std::string& adjacency_path,
   res.set_size = final_stage->set_size;
   res.io.MergeFrom(res.greedy.io);
   res.io.MergeFrom(res.swap.io);
-  res.peak_memory_bytes = std::max(res.greedy.peak_memory_bytes,
-                                   res.swap.peak_memory_bytes);
+  res.peak_memory_bytes =
+      std::max({res.greedy.peak_memory_bytes, res.swap.peak_memory_bytes,
+                sort_memory.PeakBytes()});
 
   if (options_.verify) {
     VerifyResult vr;

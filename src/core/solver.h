@@ -42,6 +42,15 @@ struct SolverOptions {
   /// Re-scan the graph at the end and fail on a non-independent or
   /// non-maximal result (paranoid mode).
   bool verify = false;
+  /// Number of adjacency shards for the parallel swap executor. Values
+  /// <= 1 keep the sequential single-file swap path. With > 1 shards the
+  /// (sorted) file is split into contiguous shards and the swap stage
+  /// runs on the parallel round executor (core/parallel_swap.h), whose
+  /// result is deterministic for any `num_threads`.
+  uint32_t num_shards = 0;
+  /// Worker threads of the parallel swap executor (0 = hardware
+  /// concurrency). Only used when num_shards > 1.
+  uint32_t num_threads = 1;
 };
 
 /// Everything a Solve call produced.
@@ -55,9 +64,12 @@ struct SolveResult {
   AlgoResult swap;
   /// Seconds spent in the preprocessing sort (0 when skipped).
   double sort_seconds = 0.0;
-  /// Aggregated I/O over all stages (sort + greedy + swaps).
+  /// Seconds spent splitting the file into shards (0 when not sharding).
+  double shard_seconds = 0.0;
+  /// Aggregated I/O over all stages (sort + shard + greedy + swaps).
   IoStats io;
-  /// Peak logical memory over all stages.
+  /// Peak logical memory over all stages, including the preprocessing
+  /// sort's run buffer and merge cursors.
   size_t peak_memory_bytes = 0;
   /// Total wall-clock seconds.
   double seconds = 0.0;

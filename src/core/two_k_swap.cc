@@ -497,7 +497,10 @@ Status TwoKSwapRun::Execute(AdjacencyFileScanner* scanner,
     // of gainless rounds means the remaining skeletons keep losing the
     // same races, so stop rather than oscillate.
     stalled_rounds = is_size_ > size_before ? 0 : stalled_rounds + 1;
-    if (stalled_rounds >= 3) break;
+    if (options_.stall_round_limit > 0 &&
+        stalled_rounds >= options_.stall_round_limit) {
+      break;
+    }
   }
 
   if (options_.final_maximality_pass) {

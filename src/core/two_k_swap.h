@@ -47,6 +47,11 @@ struct TwoKSwapOptions {
   /// possibly missing some 2-3 skeletons in one round (they are found in
   /// later rounds).
   uint32_t max_pairs_per_bucket = 64;
+  /// Stall guard: stop after this many consecutive rounds in which swaps
+  /// fired but |IS| did not grow (denied promotions can make a round
+  /// net-neutral; a run of such rounds means the remaining skeletons keep
+  /// losing the same races). 0 disables the guard.
+  uint32_t stall_round_limit = 3;
   /// Optional per-phase state snapshot hook (tests/debugging).
   PhaseObserver observer;
 };

@@ -97,6 +97,8 @@ Status AdjacencyFileScanner::Open(const std::string& path) {
   return ReadHeader();
 }
 
+Status AdjacencyFileScanner::Close() { return reader_.Close(); }
+
 Status AdjacencyFileScanner::Rewind() {
   SEMIS_RETURN_IF_ERROR(reader_.Close());
   SEMIS_RETURN_IF_ERROR(reader_.Open(path_));

@@ -101,6 +101,11 @@ class AdjacencyFileScanner {
   /// Restarts the scan from the first record. Counts a sequential scan.
   Status Rewind();
 
+  /// Closes the underlying file without waiting for the destructor. Used
+  /// by callers (e.g. the Solver's header probe) that must not keep the
+  /// file handle open across a long downstream stage. Safe to call twice.
+  Status Close();
+
   /// Path of the open file.
   const std::string& path() const { return path_; }
 

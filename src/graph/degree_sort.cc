@@ -18,6 +18,7 @@ Status BuildDegreeSortedAdjacencyFile(const std::string& input_path,
   sorter_opts.memory_budget_bytes = options.memory_budget_bytes;
   sorter_opts.fan_in = options.fan_in;
   sorter_opts.stats = options.stats;
+  sorter_opts.memory = options.memory;
   ExternalSorter sorter(sorter_opts);
 
   // Key = (degree << 32) | id: ascending degree, ties by id. The id rides

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "io/io_stats.h"
+#include "util/memory_tracker.h"
 #include "util/status.h"
 
 namespace semis {
@@ -24,6 +25,10 @@ struct DegreeSortOptions {
   size_t fan_in = 16;
   /// Optional I/O counters.
   IoStats* stats = nullptr;
+  /// Optional logical-memory accounting for the sort stage (run buffer +
+  /// merge cursors), so callers can fold the preprocessing peak into their
+  /// end-to-end peak-memory figure.
+  MemoryTracker* memory = nullptr;
 };
 
 /// Reads the adjacency file at `input_path` and writes a record-permuted

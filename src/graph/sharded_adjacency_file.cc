@@ -1,0 +1,352 @@
+#include "graph/sharded_adjacency_file.h"
+
+namespace semis {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x4D444153u;  // 'SADM' little-endian
+constexpr uint32_t kShardMagic = 0x53444153u;     // 'SADS' little-endian
+constexpr uint32_t kVersion = 1;
+
+// Record cost in u32 words: id + degree + neighbors. Shards are balanced
+// on this, which is proportional to both file bytes and scan work.
+uint64_t RecordWords(uint32_t degree) { return 2 + degree; }
+}  // namespace
+
+std::string ShardFilePath(const std::string& manifest_path, uint32_t index) {
+  return manifest_path + ".shard" + std::to_string(index);
+}
+
+Status ReadShardedAdjacencyManifest(const std::string& path,
+                                    ShardedAdjacencyManifest* out,
+                                    IoStats* stats) {
+  SequentialFileReader reader(stats);
+  SEMIS_RETURN_IF_ERROR(reader.Open(path));
+  uint32_t magic = 0, version = 0;
+  SEMIS_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  SEMIS_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (magic != kManifestMagic) {
+    return Status::Corruption("bad magic in '" + path +
+                              "': not a shard manifest");
+  }
+  if (version != kVersion) {
+    return Status::NotSupported("shard manifest version " +
+                                std::to_string(version) + " not supported");
+  }
+  ShardedAdjacencyManifest m;
+  uint32_t num_shards = 0, reserved = 0;
+  SEMIS_RETURN_IF_ERROR(reader.ReadU64(&m.header.num_vertices));
+  SEMIS_RETURN_IF_ERROR(reader.ReadU64(&m.header.num_directed_edges));
+  SEMIS_RETURN_IF_ERROR(reader.ReadU32(&m.header.flags));
+  SEMIS_RETURN_IF_ERROR(reader.ReadU32(&m.header.max_degree));
+  SEMIS_RETURN_IF_ERROR(reader.ReadU32(&num_shards));
+  SEMIS_RETURN_IF_ERROR(reader.ReadU32(&reserved));
+  if (num_shards == 0) {
+    return Status::Corruption("manifest '" + path + "' declares zero shards");
+  }
+  m.shards.resize(num_shards);
+  uint64_t total_records = 0, total_edges = 0;
+  for (ShardInfo& s : m.shards) {
+    SEMIS_RETURN_IF_ERROR(reader.ReadU64(&s.num_records));
+    SEMIS_RETURN_IF_ERROR(reader.ReadU64(&s.num_directed_edges));
+    total_records += s.num_records;
+    total_edges += s.num_directed_edges;
+  }
+  if (!reader.AtEof()) {
+    return Status::Corruption("trailing bytes in shard manifest '" + path +
+                              "'");
+  }
+  if (total_records != m.header.num_vertices ||
+      total_edges != m.header.num_directed_edges) {
+    return Status::Corruption("shard totals disagree with global header in '" +
+                              path + "'");
+  }
+  *out = std::move(m);
+  return Status::OK();
+}
+
+ShardedAdjacencyFileWriter::ShardedAdjacencyFileWriter(IoStats* stats)
+    : stats_(stats), writer_(stats) {}
+
+Status ShardedAdjacencyFileWriter::Open(const std::string& manifest_path,
+                                        uint64_t num_vertices,
+                                        uint64_t num_directed_edges,
+                                        uint32_t max_degree, uint32_t flags,
+                                        uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  if (num_shards > kMaxAdjacencyShards) {
+    return Status::InvalidArgument(
+        "num_shards " + std::to_string(num_shards) + " exceeds the limit of " +
+        std::to_string(kMaxAdjacencyShards));
+  }
+  manifest_path_ = manifest_path;
+  declared_vertices_ = num_vertices;
+  declared_directed_edges_ = num_directed_edges;
+  declared_max_degree_ = max_degree;
+  declared_flags_ = flags;
+  num_shards_ = num_shards;
+  const uint64_t total_words =
+      2 * num_vertices + num_directed_edges;  // sum of RecordWords
+  shard_budget_words_ = (total_words + num_shards - 1) / num_shards;
+  if (shard_budget_words_ == 0) shard_budget_words_ = 1;
+  finished_shards_.clear();
+  appended_vertices_ = 0;
+  appended_edges_ = 0;
+  return StartShard(0);
+}
+
+Status ShardedAdjacencyFileWriter::StartShard(uint32_t index) {
+  current_shard_ = index;
+  shard_words_ = 0;
+  current_info_ = ShardInfo();
+  SEMIS_RETURN_IF_ERROR(writer_.Open(ShardFilePath(manifest_path_, index)));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(kShardMagic));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(kVersion));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(index));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(0));  // reserved
+  // Shard totals are not known until the shard is closed; the file stays
+  // append-only, so they are written as zero here and recorded
+  // authoritatively in the manifest. Readers take totals from the
+  // manifest and treat the in-file pair as a hint.
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU64(0));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU64(0));
+  return writer_.AppendU64(declared_vertices_);
+}
+
+Status ShardedAdjacencyFileWriter::CloseShard() {
+  SEMIS_RETURN_IF_ERROR(writer_.Close());
+  finished_shards_.push_back(current_info_);
+  return Status::OK();
+}
+
+Status ShardedAdjacencyFileWriter::AppendVertex(VertexId id,
+                                                const VertexId* neighbors,
+                                                uint32_t degree) {
+  if (id >= declared_vertices_) {
+    return Status::InvalidArgument("vertex id " + std::to_string(id) +
+                                   " out of range");
+  }
+  if (degree > declared_max_degree_) {
+    return Status::InvalidArgument(
+        "vertex degree exceeds declared max_degree");
+  }
+  const uint64_t words = RecordWords(degree);
+  // Roll to the next shard when this record would overflow the budget --
+  // but never roll an empty shard, and keep the last shard open for the
+  // remainder. The split depends only on the record stream, so it is
+  // byte-stable across runs.
+  if (shard_words_ > 0 && shard_words_ + words > shard_budget_words_ &&
+      current_shard_ + 1 < num_shards_) {
+    SEMIS_RETURN_IF_ERROR(CloseShard());
+    SEMIS_RETURN_IF_ERROR(StartShard(current_shard_ + 1));
+  }
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(id));
+  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(degree));
+  if (degree > 0) {
+    SEMIS_RETURN_IF_ERROR(
+        writer_.Append(neighbors, sizeof(VertexId) * degree));
+  }
+  shard_words_ += words;
+  current_info_.num_records++;
+  current_info_.num_directed_edges += degree;
+  appended_vertices_++;
+  appended_edges_ += degree;
+  return Status::OK();
+}
+
+Status ShardedAdjacencyFileWriter::Finish() {
+  SEMIS_RETURN_IF_ERROR(CloseShard());
+  // Materialize trailing empty shards so every manifest entry has a file.
+  while (finished_shards_.size() < num_shards_) {
+    SEMIS_RETURN_IF_ERROR(StartShard(current_shard_ + 1));
+    SEMIS_RETURN_IF_ERROR(CloseShard());
+  }
+  if (appended_vertices_ != declared_vertices_) {
+    return Status::InvalidArgument(
+        "vertex count mismatch: declared " +
+        std::to_string(declared_vertices_) + ", appended " +
+        std::to_string(appended_vertices_));
+  }
+  if (appended_edges_ != declared_directed_edges_) {
+    return Status::InvalidArgument(
+        "edge count mismatch: declared " +
+        std::to_string(declared_directed_edges_) + ", appended " +
+        std::to_string(appended_edges_));
+  }
+  SequentialFileWriter manifest(stats_);
+  SEMIS_RETURN_IF_ERROR(manifest.Open(manifest_path_));
+  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(kManifestMagic));
+  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(kVersion));
+  SEMIS_RETURN_IF_ERROR(manifest.AppendU64(declared_vertices_));
+  SEMIS_RETURN_IF_ERROR(manifest.AppendU64(declared_directed_edges_));
+  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(declared_flags_));
+  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(declared_max_degree_));
+  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(num_shards_));
+  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(0));  // reserved
+  for (const ShardInfo& s : finished_shards_) {
+    SEMIS_RETURN_IF_ERROR(manifest.AppendU64(s.num_records));
+    SEMIS_RETURN_IF_ERROR(manifest.AppendU64(s.num_directed_edges));
+  }
+  return manifest.Close();
+}
+
+AdjacencyShardReader::AdjacencyShardReader(IoStats* stats)
+    : stats_(stats), reader_(stats) {}
+
+Status AdjacencyShardReader::Open(const std::string& manifest_path,
+                                  const ShardedAdjacencyManifest& manifest,
+                                  uint32_t index) {
+  if (index >= manifest.num_shards()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  path_ = ShardFilePath(manifest_path, index);
+  num_vertices_ = manifest.header.num_vertices;
+  max_degree_ = manifest.header.max_degree;
+  num_records_ = manifest.shards[index].num_records;
+  num_edges_ = manifest.shards[index].num_directed_edges;
+  records_seen_ = 0;
+  edges_seen_ = 0;
+  SEMIS_RETURN_IF_ERROR(reader_.Open(path_));
+  uint32_t magic = 0, version = 0, file_index = 0, reserved = 0;
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&magic));
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&version));
+  if (magic != kShardMagic) {
+    return Status::Corruption("bad magic in '" + path_ +
+                              "': not an adjacency shard");
+  }
+  if (version != kVersion) {
+    return Status::NotSupported("adjacency shard version " +
+                                std::to_string(version) + " not supported");
+  }
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&file_index));
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&reserved));
+  if (file_index != index) {
+    return Status::Corruption("shard index mismatch in '" + path_ + "'");
+  }
+  uint64_t hint_records = 0, hint_edges = 0, global_vertices = 0;
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU64(&hint_records));
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU64(&hint_edges));
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU64(&global_vertices));
+  if (global_vertices != num_vertices_) {
+    return Status::Corruption("shard '" + path_ +
+                              "' disagrees with manifest vertex count");
+  }
+  return Status::OK();
+}
+
+Status AdjacencyShardReader::Next(VertexRecord* rec, bool* has_next) {
+  if (records_seen_ == num_records_) {
+    if (!reader_.AtEof()) {
+      return Status::Corruption("trailing bytes after last record in '" +
+                                path_ + "'");
+    }
+    if (edges_seen_ != num_edges_) {
+      return Status::Corruption(
+          "shard '" + path_ + "' holds " + std::to_string(edges_seen_) +
+          " directed edges but the manifest declares " +
+          std::to_string(num_edges_));
+    }
+    *has_next = false;
+    return Status::OK();
+  }
+  if (reader_.AtEof()) {
+    return Status::Corruption(
+        "shard '" + path_ + "' truncated: expected " +
+        std::to_string(num_records_) + " records, found " +
+        std::to_string(records_seen_));
+  }
+  uint32_t id = 0, degree = 0;
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&id));
+  SEMIS_RETURN_IF_ERROR(reader_.ReadU32(&degree));
+  if (id >= num_vertices_) {
+    return Status::Corruption("record id out of range in '" + path_ + "'");
+  }
+  if (degree > max_degree_) {
+    return Status::Corruption("record degree exceeds header max_degree in '" +
+                              path_ + "'");
+  }
+  neighbor_buf_.resize(degree);
+  if (degree > 0) {
+    SEMIS_RETURN_IF_ERROR(
+        reader_.ReadExact(neighbor_buf_.data(), sizeof(VertexId) * degree));
+    for (VertexId nb : neighbor_buf_) {
+      if (nb >= num_vertices_) {
+        return Status::Corruption("neighbor id out of range in '" + path_ +
+                                  "'");
+      }
+    }
+  }
+  records_seen_++;
+  edges_seen_ += degree;
+  if (edges_seen_ > num_edges_) {
+    return Status::Corruption("more edges than declared in '" + path_ + "'");
+  }
+  rec->id = id;
+  rec->degree = degree;
+  rec->neighbors = neighbor_buf_.data();
+  *has_next = true;
+  return Status::OK();
+}
+
+Status AdjacencyShardReader::Close() { return reader_.Close(); }
+
+ShardedAdjacencyScanner::ShardedAdjacencyScanner(IoStats* stats)
+    : stats_(stats), reader_(stats) {}
+
+Status ShardedAdjacencyScanner::Open(const std::string& manifest_path) {
+  manifest_path_ = manifest_path;
+  SEMIS_RETURN_IF_ERROR(
+      ReadShardedAdjacencyManifest(manifest_path, &manifest_, stats_));
+  if (stats_ != nullptr) stats_->sequential_scans++;
+  current_shard_ = 0;
+  SEMIS_RETURN_IF_ERROR(reader_.Open(manifest_path_, manifest_, 0));
+  shard_open_ = true;
+  return Status::OK();
+}
+
+Status ShardedAdjacencyScanner::Next(VertexRecord* rec, bool* has_next) {
+  while (true) {
+    if (!shard_open_) {
+      *has_next = false;
+      return Status::OK();
+    }
+    bool shard_has_next = false;
+    SEMIS_RETURN_IF_ERROR(reader_.Next(rec, &shard_has_next));
+    if (shard_has_next) {
+      *has_next = true;
+      return Status::OK();
+    }
+    SEMIS_RETURN_IF_ERROR(reader_.Close());
+    shard_open_ = false;
+    if (current_shard_ + 1 < manifest_.num_shards()) {
+      current_shard_++;
+      SEMIS_RETURN_IF_ERROR(
+          reader_.Open(manifest_path_, manifest_, current_shard_));
+      shard_open_ = true;
+    }
+  }
+}
+
+Status ShardAdjacencyFile(const std::string& input_path,
+                          const std::string& manifest_path,
+                          uint32_t num_shards, IoStats* stats) {
+  AdjacencyFileScanner scanner(stats);
+  SEMIS_RETURN_IF_ERROR(scanner.Open(input_path));
+  const AdjacencyFileHeader& h = scanner.header();
+  ShardedAdjacencyFileWriter writer(stats);
+  SEMIS_RETURN_IF_ERROR(writer.Open(manifest_path, h.num_vertices,
+                                    h.num_directed_edges, h.max_degree,
+                                    h.flags, num_shards));
+  VertexRecord rec;
+  bool has_next = false;
+  while (true) {
+    SEMIS_RETURN_IF_ERROR(scanner.Next(&rec, &has_next));
+    if (!has_next) break;
+    SEMIS_RETURN_IF_ERROR(writer.AppendVertex(rec.id, rec.neighbors,
+                                              rec.degree));
+  }
+  return writer.Finish();
+}
+
+}  // namespace semis

@@ -1,0 +1,183 @@
+// Copyright (c) the semis authors.
+// Sharded variant of the SADJ adjacency format (see adjacency_file.h):
+// the record stream is split into N contiguous shard files plus a
+// manifest, preserving the global record order across shard boundaries --
+// concatenating the shards in index order reproduces the record stream of
+// the equivalent monolithic file exactly. Shards are balanced by record
+// payload (vertex words + neighbor words), not by record count, so the
+// heavy tail of a power-law graph does not pile into one shard.
+//
+// Manifest layout (little endian), at `manifest_path`:
+//   u32 magic 'SADM'  u32 version
+//   u64 num_vertices  u64 num_directed_edges
+//   u32 flags         u32 max_degree
+//   u32 num_shards    u32 reserved (0)
+//   then per shard: u64 num_records  u64 num_directed_edges
+//
+// Shard file layout, at `manifest_path + ".shard<K>"`:
+//   u32 magic 'SADS'  u32 version
+//   u32 shard_index   u32 reserved (0)
+//   u64 num_records   u64 num_directed_edges (both shard-local)
+//   u64 num_vertices  (global; record ids are global ids)
+//   then records exactly as in SADJ: u32 id  u32 degree  u32 neighbor[deg]
+//
+// Every reader below is forward-only, matching the semi-external model;
+// the parallel swap executor hands each worker its own AdjacencyShardReader
+// so shards can be scanned concurrently without shared reader state.
+#ifndef SEMIS_GRAPH_SHARDED_ADJACENCY_FILE_H_
+#define SEMIS_GRAPH_SHARDED_ADJACENCY_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/adjacency_file.h"
+#include "io/file.h"
+#include "io/io_stats.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Upper bound on the shard count a writer accepts. Far above any sane
+/// parallelism (shards exist to be scanned by threads), and low enough
+/// that a mistyped or wrapped-negative count cannot ask the writer to
+/// materialize millions of files.
+inline constexpr uint32_t kMaxAdjacencyShards = 4096;
+
+/// Per-shard totals recorded in the manifest.
+struct ShardInfo {
+  uint64_t num_records = 0;
+  uint64_t num_directed_edges = 0;
+};
+
+/// Parsed manifest of a sharded adjacency file.
+struct ShardedAdjacencyManifest {
+  /// Global totals and flags, identical in meaning to the monolithic
+  /// header (kAdjFlagDegreeSorted refers to the global record order).
+  AdjacencyFileHeader header;
+  std::vector<ShardInfo> shards;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards.size()); }
+};
+
+/// Path of shard `index` of the sharded file rooted at `manifest_path`.
+std::string ShardFilePath(const std::string& manifest_path, uint32_t index);
+
+/// Reads and validates the manifest at `path`.
+Status ReadShardedAdjacencyManifest(const std::string& path,
+                                    ShardedAdjacencyManifest* out,
+                                    IoStats* stats = nullptr);
+
+/// Streaming writer: records are appended in global order and rolled into
+/// the next shard when the current shard reaches its payload budget. All
+/// `num_shards` shard files exist after Finish() (trailing ones may be
+/// empty when the graph is small).
+class ShardedAdjacencyFileWriter {
+ public:
+  /// `stats` may be null.
+  explicit ShardedAdjacencyFileWriter(IoStats* stats = nullptr);
+
+  /// Declares the totals (as in AdjacencyFileWriter::Open) and the shard
+  /// count; creates the first shard file. `num_shards` must be >= 1.
+  Status Open(const std::string& manifest_path, uint64_t num_vertices,
+              uint64_t num_directed_edges, uint32_t max_degree, uint32_t flags,
+              uint32_t num_shards);
+
+  /// Appends the record for vertex `id` (global id). Records must arrive
+  /// in the intended global order; every vertex exactly once.
+  Status AppendVertex(VertexId id, const VertexId* neighbors, uint32_t degree);
+
+  /// Closes the last shard, creates any remaining empty shards, validates
+  /// the declared totals and writes the manifest.
+  Status Finish();
+
+ private:
+  Status StartShard(uint32_t index);
+  Status CloseShard();
+
+  IoStats* stats_;
+  SequentialFileWriter writer_;
+  std::string manifest_path_;
+  uint64_t declared_vertices_ = 0;
+  uint64_t declared_directed_edges_ = 0;
+  uint32_t declared_max_degree_ = 0;
+  uint32_t declared_flags_ = 0;
+  uint32_t num_shards_ = 0;
+  uint64_t shard_budget_words_ = 0;  // u32 words of records per shard
+  uint32_t current_shard_ = 0;
+  uint64_t shard_words_ = 0;
+  ShardInfo current_info_;
+  std::vector<ShardInfo> finished_shards_;
+  uint64_t appended_vertices_ = 0;
+  uint64_t appended_edges_ = 0;
+};
+
+/// Forward-only reader of one shard. Each worker of a parallel scan owns
+/// one reader (and one IoStats) so no reader state is shared.
+class AdjacencyShardReader {
+ public:
+  /// `stats` may be null.
+  explicit AdjacencyShardReader(IoStats* stats = nullptr);
+
+  /// Opens shard `index` of the sharded file rooted at `manifest_path`,
+  /// validating the shard header against `manifest`. Does not bump
+  /// IoStats::sequential_scans -- a "scan" of a sharded file is one pass
+  /// over all shards and is counted by the caller.
+  Status Open(const std::string& manifest_path,
+              const ShardedAdjacencyManifest& manifest, uint32_t index);
+
+  /// Reads the next record; `*has_next` is false after the last record.
+  /// Validation mirrors AdjacencyFileScanner::Next.
+  Status Next(VertexRecord* rec, bool* has_next);
+
+  /// Closes the underlying file. Safe to call twice.
+  Status Close();
+
+ private:
+  IoStats* stats_;
+  SequentialFileReader reader_;
+  std::string path_;
+  uint64_t num_vertices_ = 0;  // global, for id validation
+  uint32_t max_degree_ = 0;
+  uint64_t num_records_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t records_seen_ = 0;
+  uint64_t edges_seen_ = 0;
+  std::vector<VertexId> neighbor_buf_;
+};
+
+/// Forward-only reader over all shards in index order: yields exactly the
+/// record stream of the equivalent monolithic file. Used by tests and by
+/// sequential consumers that receive a sharded input.
+class ShardedAdjacencyScanner {
+ public:
+  explicit ShardedAdjacencyScanner(IoStats* stats = nullptr);
+
+  /// Opens the manifest. Counts one sequential scan.
+  Status Open(const std::string& manifest_path);
+
+  const ShardedAdjacencyManifest& manifest() const { return manifest_; }
+  const AdjacencyFileHeader& header() const { return manifest_.header; }
+
+  /// Next record in global order, crossing shard boundaries transparently.
+  Status Next(VertexRecord* rec, bool* has_next);
+
+ private:
+  IoStats* stats_;
+  std::string manifest_path_;
+  ShardedAdjacencyManifest manifest_;
+  AdjacencyShardReader reader_;
+  uint32_t current_shard_ = 0;
+  bool shard_open_ = false;
+};
+
+/// Splits the monolithic adjacency file at `input_path` into `num_shards`
+/// shards rooted at `manifest_path`, preserving record order.
+Status ShardAdjacencyFile(const std::string& input_path,
+                          const std::string& manifest_path,
+                          uint32_t num_shards, IoStats* stats = nullptr);
+
+}  // namespace semis
+
+#endif  // SEMIS_GRAPH_SHARDED_ADJACENCY_FILE_H_

@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <queue>
 
+#include "util/memory_tracker.h"
+
 namespace semis {
+
+namespace {
+// Logical bytes charged per open run cursor (the reader's buffer size).
+constexpr size_t kCursorBufferBytes = 1 << 20;
+}  // namespace
 
 // A sequential cursor over one sorted run file. Record layout:
 //   u64 key, u32 len, u32 payload[len]
@@ -39,14 +46,27 @@ struct ExternalSorter::RunCursor {
 };
 
 ExternalSorter::ExternalSorter(ExternalSorterOptions options)
-    : options_(std::move(options)) {
-  if (options_.fan_in < 2) options_.fan_in = 2;
-}
+    : options_(std::move(options)) {}
 
 ExternalSorter::~ExternalSorter() = default;
 
+Status ExternalSorter::ValidateOptions() const {
+  // Rejecting bad knobs loudly beats the historical behavior of silently
+  // clamping fan_in to 2 and degenerating to one spilled run per record
+  // when the budget was zero.
+  if (options_.fan_in < 2) {
+    return Status::InvalidArgument("fan_in must be at least 2, got " +
+                                   std::to_string(options_.fan_in));
+  }
+  if (options_.memory_budget_bytes == 0) {
+    return Status::InvalidArgument("memory_budget_bytes must be positive");
+  }
+  return Status::OK();
+}
+
 Status ExternalSorter::Add(uint64_t key, const uint32_t* payload,
                            uint32_t len) {
+  SEMIS_RETURN_IF_ERROR(ValidateOptions());
   if (finished_) return Status::InvalidArgument("Add after Finish");
   IndexEntry e;
   e.key = key;
@@ -67,6 +87,12 @@ Status ExternalSorter::Add(uint64_t key, const uint32_t* payload,
 
 Status ExternalSorter::SpillRun() {
   if (index_.empty()) return Status::OK();
+  // The buffer is at its high-water mark right before a spill; recording
+  // it here (and in Finish for the no-spill tail) keeps the tracker off
+  // the per-record hot path while preserving the same observed peak.
+  if (options_.memory != nullptr) {
+    options_.memory->Set("sort-buffer", mem_used_);
+  }
   if (scratch_path_.empty()) {
     if (!options_.scratch_dir.empty()) {
       scratch_path_ = options_.scratch_dir;
@@ -98,11 +124,15 @@ Status ExternalSorter::SpillRun() {
   payload_pool_.clear();
   payload_pool_.shrink_to_fit();
   mem_used_ = 0;
+  if (options_.memory != nullptr) options_.memory->Set("sort-buffer", 0);
   return Status::OK();
 }
 
 Status ExternalSorter::MergeRuns(const std::vector<std::string>& inputs,
                                  const std::string& output) {
+  if (options_.memory != nullptr) {
+    options_.memory->Set("sort-cursors", inputs.size() * kCursorBufferBytes);
+  }
   std::vector<std::unique_ptr<RunCursor>> cursors;
   cursors.reserve(inputs.size());
   for (const std::string& in : inputs) {
@@ -139,12 +169,17 @@ Status ExternalSorter::MergeRuns(const std::vector<std::string>& inputs,
   for (const std::string& in : inputs) {
     SEMIS_RETURN_IF_ERROR(RemoveFileIfExists(in));
   }
+  if (options_.memory != nullptr) options_.memory->Set("sort-cursors", 0);
   return Status::OK();
 }
 
 Status ExternalSorter::Finish() {
+  SEMIS_RETURN_IF_ERROR(ValidateOptions());
   if (finished_) return Status::InvalidArgument("Finish called twice");
   finished_ = true;
+  if (options_.memory != nullptr && mem_used_ > 0) {
+    options_.memory->Set("sort-buffer", mem_used_);
+  }
   if (run_files_.empty()) {
     // Everything fits in memory: sort in place and stream from the buffer.
     std::sort(index_.begin(), index_.end(),
@@ -181,6 +216,10 @@ Status ExternalSorter::Finish() {
   }
   // Final on-the-fly merge: open cursors for the surviving runs.
   if (options_.stats != nullptr) options_.stats->sort_passes++;
+  if (options_.memory != nullptr) {
+    options_.memory->Set("sort-cursors",
+                         run_files_.size() * kCursorBufferBytes);
+  }
   cursors_.reserve(run_files_.size());
   for (const std::string& path : run_files_) {
     auto c = std::make_unique<RunCursor>(options_.stats);

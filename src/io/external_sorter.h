@@ -21,16 +21,25 @@
 
 namespace semis {
 
+class MemoryTracker;
+
 /// Tuning knobs for ExternalSorter.
 struct ExternalSorterOptions {
   /// Approximate bytes of record data buffered before a run is spilled.
+  /// Must be positive: a zero budget would degenerate to one spilled run
+  /// per record and is rejected with InvalidArgument.
   size_t memory_budget_bytes = 64ull << 20;
-  /// Maximum number of runs merged at once (the paper's M/B).
+  /// Maximum number of runs merged at once (the paper's M/B). Must be at
+  /// least 2; smaller values are rejected with InvalidArgument.
   size_t fan_in = 16;
   /// Directory for spill files. Empty = create a private ScratchDir.
   std::string scratch_dir;
   /// Optional I/O counters.
   IoStats* stats = nullptr;
+  /// Optional logical-memory accounting: the sorter reports its buffered
+  /// record bytes and merge-cursor buffers here, so a pipeline can fold
+  /// the sort stage into its peak-memory figure.
+  MemoryTracker* memory = nullptr;
 };
 
 /// Sorts records of the form (u64 key, u32 payload[len]) by ascending key;
@@ -81,6 +90,7 @@ class ExternalSorter {
  private:
   struct RunCursor;
 
+  Status ValidateOptions() const;
   Status SpillRun();
   Status MergeRuns(const std::vector<std::string>& inputs,
                    const std::string& output);

@@ -1,0 +1,65 @@
+#include "util/thread_pool.h"
+
+namespace semis {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelFor(
+    size_t num_items, const std::function<void(size_t, size_t)>& fn) {
+  if (num_items == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  job_fn_ = &fn;
+  job_items_ = num_items;
+  next_item_.store(0, std::memory_order_relaxed);
+  workers_done_ = 0;
+  epoch_++;
+  job_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return workers_done_ == threads_.size(); });
+  job_fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    size_t items = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      fn = job_fn_;
+      items = job_items_;
+    }
+    while (true) {
+      const size_t item = next_item_.fetch_add(1, std::memory_order_relaxed);
+      if (item >= items) break;
+      (*fn)(item, worker_index);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      workers_done_++;
+      if (workers_done_ == threads_.size()) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace semis

@@ -1,0 +1,61 @@
+// Copyright (c) the semis authors.
+// A minimal fixed-size thread pool for the parallel swap executor. The
+// only primitive it offers is a blocking parallel-for over an index range:
+// workers pull indices from a shared atomic counter, so work items of
+// uneven cost (adjacency shards) balance automatically. With one worker
+// the items are processed strictly in ascending order, which makes the
+// single-threaded execution the sequential reference path of every
+// algorithm built on top.
+#ifndef SEMIS_UTIL_THREAD_POOL_H_
+#define SEMIS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace semis {
+
+/// Fixed pool of worker threads executing parallel-for jobs.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = std::thread::hardware_concurrency(),
+  /// itself clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return threads_.size(); }
+
+  /// Runs `fn(item, worker)` for every item in [0, num_items), distributing
+  /// items over the workers, and returns when all items are done. `worker`
+  /// is a stable index in [0, size()) identifying the executing thread, so
+  /// callers can keep per-worker scratch state without synchronization.
+  /// Not reentrant: one job at a time.
+  void ParallelFor(size_t num_items,
+                   const std::function<void(size_t item, size_t worker)>& fn);
+
+ private:
+  void WorkerLoop(size_t worker_index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait for a new job epoch
+  std::condition_variable done_cv_;  // ParallelFor waits for completion
+  const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
+  size_t job_items_ = 0;
+  std::atomic<size_t> next_item_{0};
+  size_t workers_done_ = 0;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_UTIL_THREAD_POOL_H_

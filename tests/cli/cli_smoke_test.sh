@@ -38,6 +38,19 @@ set -e
 "$CLI" solve "$work/g.sadj" --algo twok --verify --out "$work/set.txt"
 [ -s "$work/set.txt" ] || fail "solve --out produced an empty member list"
 
+# --- sharded / parallel path ------------------------------------------------
+"$CLI" shard "$work/g.sadj" "$work/g.sadjs" --shards 4
+[ -s "$work/g.sadjs" ] || fail "shard produced no manifest"
+[ -s "$work/g.sadjs.shard0" ] || fail "shard produced no shard files"
+"$CLI" solve "$work/g.sadj" --algo twok --shards 4 --threads 2 --verify \
+    --out "$work/set_par.txt"
+[ -s "$work/set_par.txt" ] || fail "parallel solve produced an empty list"
+# Determinism contract: thread count must not change the result.
+"$CLI" solve "$work/g.sadj" --algo twok --shards 4 --threads 1 \
+    --out "$work/set_seq.txt"
+cmp -s "$work/set_par.txt" "$work/set_seq.txt" \
+    || fail "parallel result differs between 1 and 2 threads"
+
 # --- pipeline from a hand-written edge list --------------------------------
 printf '# toy graph\n0\t1\n1\t2\n2\t0\n2\t3\n3\t4\n4\t0\n' > "$work/edges.txt"
 "$CLI" convert "$work/edges.txt" "$work/e.adj" --memory-mb 8

@@ -1,0 +1,184 @@
+#include "core/parallel_swap.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/solver.h"
+#include "core/two_k_swap.h"
+#include "core/verify.h"
+#include "gen/generators.h"
+#include "gen/plrg.h"
+#include "graph/degree_sort.h"
+#include "graph/sharded_adjacency_file.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+using testing_util::SetToVector;
+using testing_util::WriteGraphFile;
+
+class ParallelSwapTest : public ScratchTest {
+ protected:
+  // Writes `g` degree-sorted, shards it, and runs greedy for the initial
+  // set. Returns the manifest path.
+  std::string Prepare(const Graph& g, uint32_t num_shards) {
+    std::string mono = WriteGraphFile(&scratch_, g);
+    std::string sorted = NewPath("sorted");
+    Status s = BuildDegreeSortedAdjacencyFile(mono, sorted,
+                                              DegreeSortOptions{});
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    std::string manifest = NewPath("sharded");
+    s = ShardAdjacencyFile(sorted, manifest, num_shards);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    s = RunGreedy(sorted, GreedyOptions{}, &greedy_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    sorted_path_ = sorted;
+    return manifest;
+  }
+
+  AlgoResult greedy_;
+  std::string sorted_path_;
+};
+
+TEST_F(ParallelSwapTest, ByteIdenticalAcrossThreadCounts) {
+  // The acceptance contract of the parallel executor: the independent set
+  // is byte-identical to the sequential path (num_threads == 1) at every
+  // thread count, on a non-trivial power-law graph.
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(30000, 2.0), 31);
+  std::string manifest = Prepare(g, 8);
+
+  AlgoResult sequential;
+  ParallelSwapOptions opts;
+  opts.num_threads = 1;
+  ASSERT_OK(RunParallelSwap(manifest, greedy_.in_set, opts, &sequential));
+  EXPECT_GE(sequential.set_size, greedy_.set_size);
+
+  for (uint32_t threads : {2u, 8u}) {
+    AlgoResult parallel;
+    ParallelSwapOptions popts;
+    popts.num_threads = threads;
+    ASSERT_OK(RunParallelSwap(manifest, greedy_.in_set, popts, &parallel));
+    EXPECT_EQ(parallel.set_size, sequential.set_size) << threads;
+    EXPECT_EQ(SetToVector(parallel.in_set), SetToVector(sequential.in_set))
+        << "result depends on thread count at " << threads << " threads";
+    EXPECT_EQ(parallel.rounds, sequential.rounds) << threads;
+  }
+}
+
+TEST_F(ParallelSwapTest, ResultIsIndependentAndMaximal) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(20000, 2.2), 32);
+  std::string manifest = Prepare(g, 6);
+  AlgoResult res;
+  ParallelSwapOptions opts;
+  opts.num_threads = 4;
+  ASSERT_OK(RunParallelSwap(manifest, greedy_.in_set, opts, &res));
+  VerifyResult vr = VerifyIndependentSet(g, res.in_set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_TRUE(vr.maximal);
+  EXPECT_EQ(res.in_set.Count(), res.set_size);
+}
+
+TEST_F(ParallelSwapTest, ImprovesOnGreedyLikeSequentialTwoK) {
+  // The parallel executor resolves conflicts differently from the
+  // monolithic two-k-swap, but it must land in the same quality band.
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(20000, 2.0), 33);
+  std::string manifest = Prepare(g, 6);
+
+  AlgoResult parallel;
+  ParallelSwapOptions opts;
+  opts.num_threads = 2;
+  ASSERT_OK(RunParallelSwap(manifest, greedy_.in_set, opts, &parallel));
+
+  AlgoResult twok;
+  ASSERT_OK(
+      RunTwoKSwap(sorted_path_, greedy_.in_set, TwoKSwapOptions{}, &twok));
+
+  EXPECT_GT(parallel.set_size, greedy_.set_size);
+  // Within 1% of the sequential two-k result.
+  EXPECT_GE(parallel.set_size + twok.set_size / 100, twok.set_size);
+}
+
+TEST_F(ParallelSwapTest, OneKModeAlsoDeterministic) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(15000, 2.1), 34);
+  std::string manifest = Prepare(g, 5);
+  AlgoResult base;
+  ParallelSwapOptions opts;
+  opts.enable_two_k = false;
+  opts.num_threads = 1;
+  ASSERT_OK(RunParallelSwap(manifest, greedy_.in_set, opts, &base));
+  ParallelSwapOptions opts4 = opts;
+  opts4.num_threads = 4;
+  AlgoResult res4;
+  ASSERT_OK(RunParallelSwap(manifest, greedy_.in_set, opts4, &res4));
+  EXPECT_EQ(SetToVector(res4.in_set), SetToVector(base.in_set));
+  VerifyResult vr = VerifyIndependentSet(g, base.in_set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_TRUE(vr.maximal);
+}
+
+TEST_F(ParallelSwapTest, MaxRoundsRespected) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(10000, 2.0), 35);
+  std::string manifest = Prepare(g, 4);
+  AlgoResult res;
+  ParallelSwapOptions opts;
+  opts.max_rounds = 1;
+  opts.num_threads = 2;
+  ASSERT_OK(RunParallelSwap(manifest, greedy_.in_set, opts, &res));
+  EXPECT_LE(res.rounds, 1u);
+}
+
+TEST_F(ParallelSwapTest, MergesPerThreadIoIntoAggregate) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(10000, 2.0), 36);
+  std::string manifest = Prepare(g, 4);
+  AlgoResult res;
+  ParallelSwapOptions opts;
+  opts.num_threads = 3;
+  ASSERT_OK(RunParallelSwap(manifest, greedy_.in_set, opts, &res));
+  // Every round is five full passes over the shards plus the completion
+  // loop; all of that I/O must land in the merged counters.
+  EXPECT_GT(res.io.bytes_read, 0u);
+  EXPECT_GE(res.io.sequential_scans, 5u * res.rounds);
+  EXPECT_GT(res.io.files_opened, 0u);
+  EXPECT_GT(res.peak_memory_bytes, 0u);
+}
+
+TEST_F(ParallelSwapTest, InitialSetSizeMismatchRejected) {
+  Graph g = GenerateErdosRenyi(100, 200, 37);
+  std::string manifest = Prepare(g, 2);
+  BitVector wrong(50);
+  AlgoResult res;
+  EXPECT_TRUE(RunParallelSwap(manifest, wrong, ParallelSwapOptions{}, &res)
+                  .IsInvalidArgument());
+}
+
+TEST_F(ParallelSwapTest, SolverIntegrationEndToEnd) {
+  // SolveFile with num_shards > 1 routes the swap stage through the
+  // parallel executor; the result must verify and the thread count must
+  // not change it.
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(15000, 2.0), 38);
+  std::string path = WriteGraphFile(&scratch_, g);
+  SolverOptions opts;
+  opts.num_shards = 4;
+  opts.num_threads = 2;
+  opts.verify = true;
+  Solver solver(opts);
+  SolveResult res;
+  ASSERT_OK(solver.SolveFile(path, &res));
+  EXPECT_GE(res.set_size, res.greedy.set_size);
+  EXPECT_GT(res.shard_seconds, 0.0);
+
+  SolverOptions opts1 = opts;
+  opts1.num_threads = 1;
+  Solver solver1(opts1);
+  SolveResult res1;
+  ASSERT_OK(solver1.SolveFile(path, &res1));
+  EXPECT_EQ(SetToVector(res1.set), SetToVector(res.set));
+}
+
+}  // namespace
+}  // namespace semis

@@ -183,5 +183,82 @@ TEST_F(TwoKSwapTest, MismatchedInitialSetRejected) {
   EXPECT_TRUE(RunTwoKSwap(path, wrong, {}, &res).IsInvalidArgument());
 }
 
+// A 6-cycle whose file order makes every round fire two 1-2 swaps that
+// deny each other's second candidate: the set oscillates {0,1} -> {2,4}
+// -> {3,5} -> {2,4} -> ... with |IS| pinned at 2. Without the stall guard
+// the loop would never terminate (every round removes and adds two
+// vertices, so can_swap stays true); the guard must break after
+// `stall_round_limit` consecutive gainless rounds.
+//
+// Cycle edges: 0-2, 2-5, 5-1, 1-4, 4-3, 3-0; scan order [2,4,3,5,0,1].
+struct StallGadget {
+  Graph graph = Graph::FromEdges(
+      6, {{0, 2}, {2, 5}, {5, 1}, {1, 4}, {4, 3}, {3, 0}});
+  std::vector<VertexId> order = {2, 4, 3, 5, 0, 1};
+};
+
+TEST_F(TwoKSwapTest, StallGuardBreaksPerpetualOscillation) {
+  StallGadget gadget;
+  std::string path = WriteGraphFileInOrder(&scratch_, gadget.graph,
+                                           gadget.order);
+  BitVector initial = MakeSet(6, {0, 1});
+  AlgoResult res;
+  ASSERT_OK(RunTwoKSwap(path, initial, TwoKSwapOptions{}, &res));
+  // Default limit is 3: rounds 1..3 are all gainless swaps-of-two.
+  EXPECT_EQ(res.rounds, 3u);
+  ASSERT_EQ(res.round_stats.size(), 3u);
+  for (const RoundStats& round : res.round_stats) {
+    EXPECT_EQ(round.removed_is_vertices, 2u);
+    EXPECT_EQ(round.new_is_vertices, 2u);
+    EXPECT_EQ(round.is_size_after, 2u);
+  }
+  EXPECT_EQ(res.set_size, 2u);
+  VerifyResult vr = VerifyIndependentSet(gadget.graph, res.in_set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_TRUE(vr.maximal);
+}
+
+TEST_F(TwoKSwapTest, StallRoundLimitIsConfigurable) {
+  StallGadget gadget;
+  std::string path = WriteGraphFileInOrder(&scratch_, gadget.graph,
+                                           gadget.order);
+  BitVector initial = MakeSet(6, {0, 1});
+  for (uint32_t limit : {1u, 2u}) {
+    TwoKSwapOptions opts;
+    opts.stall_round_limit = limit;
+    AlgoResult res;
+    ASSERT_OK(RunTwoKSwap(path, initial, opts, &res));
+    EXPECT_EQ(res.rounds, limit) << "limit " << limit;
+    EXPECT_EQ(res.set_size, 2u);
+    VerifyResult vr = VerifyIndependentSet(gadget.graph, res.in_set);
+    EXPECT_TRUE(vr.independent);
+    EXPECT_TRUE(vr.maximal);
+  }
+}
+
+TEST_F(TwoKSwapTest, StallGuardResetsAfterGainfulRound) {
+  // On a normal power-law run, rounds that grow the set keep resetting
+  // the stall counter, so even a tight limit of 1 does not truncate a
+  // converging run below its gainful prefix.
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(5000, 2.0), 91);
+  std::string path = WriteGraphFile(&scratch_, g);
+  AlgoResult greedy;
+  ASSERT_OK(RunGreedy(path, GreedyOptions{}, &greedy));
+  TwoKSwapOptions tight;
+  tight.stall_round_limit = 1;
+  AlgoResult res;
+  ASSERT_OK(RunTwoKSwap(path, greedy.in_set, tight, &res));
+  // Every round but the last must have grown the set (a single gainless
+  // round trips the limit immediately).
+  uint64_t prev = greedy.set_size;
+  for (size_t i = 0; i + 1 < res.round_stats.size(); ++i) {
+    EXPECT_GT(res.round_stats[i].is_size_after, prev) << "round " << i;
+    prev = res.round_stats[i].is_size_after;
+  }
+  VerifyResult vr = VerifyIndependentSet(g, res.in_set);
+  EXPECT_TRUE(vr.independent);
+  EXPECT_TRUE(vr.maximal);
+}
+
 }  // namespace
 }  // namespace semis

@@ -1,0 +1,183 @@
+#include "graph/sharded_adjacency_file.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+#include "gen/plrg.h"
+#include "graph/degree_sort.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+using testing_util::WriteGraphFile;
+
+class ShardedAdjacencyFileTest : public ScratchTest {};
+
+// Reads every record of every shard in index order into (id, neighbors).
+std::vector<std::pair<VertexId, std::vector<VertexId>>> DrainSharded(
+    const std::string& manifest_path) {
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> out;
+  ShardedAdjacencyScanner scanner;
+  Status s = scanner.Open(manifest_path);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  if (!s.ok()) return out;
+  VertexRecord rec;
+  bool has_next = false;
+  while (scanner.Next(&rec, &has_next).ok() && has_next) {
+    out.emplace_back(rec.id, std::vector<VertexId>(
+                                 rec.neighbors, rec.neighbors + rec.degree));
+  }
+  return out;
+}
+
+std::vector<std::pair<VertexId, std::vector<VertexId>>> DrainMonolithic(
+    const std::string& path) {
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> out;
+  AdjacencyFileScanner scanner;
+  Status s = scanner.Open(path);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  if (!s.ok()) return out;
+  VertexRecord rec;
+  bool has_next = false;
+  while (scanner.Next(&rec, &has_next).ok() && has_next) {
+    out.emplace_back(rec.id, std::vector<VertexId>(
+                                 rec.neighbors, rec.neighbors + rec.degree));
+  }
+  return out;
+}
+
+TEST_F(ShardedAdjacencyFileTest, RoundtripPreservesGlobalOrder) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(5000, 2.0), 21);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 7));
+  auto expected = DrainMonolithic(mono);
+  auto actual = DrainSharded(manifest);
+  ASSERT_EQ(actual.size(), expected.size());
+  // Concatenating the shards must reproduce the monolithic record stream
+  // exactly -- ids, order, and neighbor lists.
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_F(ShardedAdjacencyFileTest, ManifestTotalsMatchHeader) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(3000, 2.2), 22);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 4));
+  ShardedAdjacencyManifest m;
+  ASSERT_OK(ReadShardedAdjacencyManifest(manifest, &m));
+  ASSERT_EQ(m.num_shards(), 4u);
+  uint64_t records = 0, edges = 0;
+  for (const ShardInfo& s : m.shards) {
+    records += s.num_records;
+    edges += s.num_directed_edges;
+  }
+  EXPECT_EQ(records, m.header.num_vertices);
+  EXPECT_EQ(edges, m.header.num_directed_edges);
+  EXPECT_EQ(m.header.num_vertices, g.NumVertices());
+}
+
+TEST_F(ShardedAdjacencyFileTest, ShardsAreBalancedByPayload) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(20000, 2.0), 23);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  const uint32_t kShards = 8;
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, kShards));
+  ShardedAdjacencyManifest m;
+  ASSERT_OK(ReadShardedAdjacencyManifest(manifest, &m));
+  const uint64_t total_words =
+      2 * m.header.num_vertices + m.header.num_directed_edges;
+  const uint64_t budget = (total_words + kShards - 1) / kShards;
+  for (uint32_t i = 0; i < kShards; ++i) {
+    const uint64_t words =
+        2 * m.shards[i].num_records + m.shards[i].num_directed_edges;
+    // Every shard stays within budget + one max-size record of slack.
+    EXPECT_LE(words, budget + 2 + m.header.max_degree) << "shard " << i;
+    EXPECT_GT(m.shards[i].num_records, 0u) << "shard " << i;
+  }
+}
+
+TEST_F(ShardedAdjacencyFileTest, DegreeSortedFlagSurvivesSharding) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(2000, 2.0), 24);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string sorted = NewPath("sorted");
+  ASSERT_OK(BuildDegreeSortedAdjacencyFile(mono, sorted, DegreeSortOptions{}));
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(sorted, manifest, 3));
+  ShardedAdjacencyScanner scanner;
+  ASSERT_OK(scanner.Open(manifest));
+  EXPECT_TRUE(scanner.header().IsDegreeSorted());
+  // And the records really are in ascending (degree, id) order globally.
+  VertexRecord rec;
+  bool has_next = false;
+  uint64_t prev_key = 0;
+  while (true) {
+    ASSERT_OK(scanner.Next(&rec, &has_next));
+    if (!has_next) break;
+    uint64_t key = (static_cast<uint64_t>(rec.degree) << 32) | rec.id;
+    EXPECT_GE(key, prev_key);
+    prev_key = key;
+  }
+}
+
+TEST_F(ShardedAdjacencyFileTest, MoreShardsThanRecordsYieldsEmptyShards) {
+  Graph g = GenerateErdosRenyi(5, 4, 25);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 16));
+  ShardedAdjacencyManifest m;
+  ASSERT_OK(ReadShardedAdjacencyManifest(manifest, &m));
+  ASSERT_EQ(m.num_shards(), 16u);
+  auto records = DrainSharded(manifest);
+  EXPECT_EQ(records.size(), 5u);
+}
+
+TEST_F(ShardedAdjacencyFileTest, SingleShardIsValid) {
+  Graph g = GenerateErdosRenyi(100, 300, 26);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 1));
+  EXPECT_EQ(DrainSharded(manifest), DrainMonolithic(mono));
+}
+
+TEST_F(ShardedAdjacencyFileTest, ShardCountOutOfRangeRejected) {
+  Graph g = GenerateErdosRenyi(10, 9, 27);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  EXPECT_TRUE(
+      ShardAdjacencyFile(mono, NewPath("sharded"), 0).IsInvalidArgument());
+  // A wrapped-negative or fat-fingered count must not ask the writer to
+  // materialize millions of files.
+  EXPECT_TRUE(ShardAdjacencyFile(mono, NewPath("sharded"),
+                                 kMaxAdjacencyShards + 1)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ShardAdjacencyFile(mono, NewPath("sharded"), 0xFFFFFFFFu)
+                  .IsInvalidArgument());
+}
+
+TEST_F(ShardedAdjacencyFileTest, CorruptManifestRejected) {
+  // A monolithic adjacency file is not a manifest.
+  Graph g = GenerateErdosRenyi(10, 9, 28);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  ShardedAdjacencyManifest m;
+  EXPECT_TRUE(ReadShardedAdjacencyManifest(mono, &m).IsCorruption());
+}
+
+TEST_F(ShardedAdjacencyFileTest, ShardReaderValidatesIndex) {
+  Graph g = GenerateErdosRenyi(50, 100, 29);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 2));
+  ShardedAdjacencyManifest m;
+  ASSERT_OK(ReadShardedAdjacencyManifest(manifest, &m));
+  AdjacencyShardReader reader;
+  EXPECT_TRUE(reader.Open(manifest, m, 2).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace semis

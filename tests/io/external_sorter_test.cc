@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "test_util.h"
+#include "util/memory_tracker.h"
 #include "util/random.h"
 
 namespace semis {
@@ -132,21 +133,60 @@ TEST_F(ExternalSorterTest, DuplicateKeysAllSurvive) {
   EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
 }
 
-TEST_F(ExternalSorterTest, ZeroBudgetSpillsEveryRecord) {
+TEST_F(ExternalSorterTest, ZeroBudgetRejected) {
+  // A zero budget used to silently degenerate to one spilled run per
+  // record; it is now an input error.
   ExternalSorterOptions opts;
-  opts.memory_budget_bytes = 0;  // degenerate: one record per run
+  opts.memory_budget_bytes = 0;
   opts.scratch_dir = scratch_.path();
   ExternalSorter sorter(opts);
-  for (int i = 20; i > 0; --i) {
-    ASSERT_OK(sorter.AddKey(static_cast<uint64_t>(i)));
+  EXPECT_TRUE(sorter.AddKey(1).IsInvalidArgument());
+  EXPECT_TRUE(sorter.Finish().IsInvalidArgument());
+}
+
+TEST_F(ExternalSorterTest, FanInBelowTwoRejected) {
+  // fan_in < 2 used to be silently clamped to 2; it is now an input error
+  // surfaced on the first call, whether or not any record was added.
+  for (size_t fan_in : {0u, 1u}) {
+    ExternalSorterOptions opts;
+    opts.fan_in = fan_in;
+    opts.scratch_dir = scratch_.path();
+    ExternalSorter sorter(opts);
+    EXPECT_TRUE(sorter.AddKey(1).IsInvalidArgument()) << "fan_in " << fan_in;
+    EXPECT_TRUE(sorter.Finish().IsInvalidArgument()) << "fan_in " << fan_in;
+  }
+  ExternalSorterOptions ok_opts;
+  ok_opts.fan_in = 2;  // the smallest legal fan-in still works
+  ok_opts.scratch_dir = scratch_.path();
+  ExternalSorter sorter(ok_opts);
+  ASSERT_OK(sorter.AddKey(2));
+  ASSERT_OK(sorter.AddKey(1));
+  ASSERT_OK(sorter.Finish());
+  auto out = Drain(&sorter);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 1u);
+  EXPECT_EQ(out[1].first, 2u);
+}
+
+TEST_F(ExternalSorterTest, ReportsMemoryToTracker) {
+  ExternalSorterOptions opts;
+  opts.memory_budget_bytes = 1024;  // force spills
+  opts.scratch_dir = scratch_.path();
+  MemoryTracker memory;
+  opts.memory = &memory;
+  ExternalSorter sorter(opts);
+  for (int i = 0; i < 500; ++i) {
+    uint32_t payload = static_cast<uint32_t>(i);
+    ASSERT_OK(sorter.Add(static_cast<uint64_t>(500 - i), &payload, 1));
   }
   ASSERT_OK(sorter.Finish());
-  EXPECT_EQ(sorter.NumInitialRuns(), 20u);
+  // The run buffer filled to (at least) the budget before each spill, and
+  // merge cursors were charged during Finish.
+  EXPECT_GE(memory.CategoryPeakBytes("sort-buffer"), 1024u);
+  EXPECT_GT(memory.CategoryPeakBytes("sort-cursors"), 0u);
+  EXPECT_GE(memory.PeakBytes(), 1024u);
   auto out = Drain(&sorter);
-  ASSERT_EQ(out.size(), 20u);
-  for (int i = 0; i < 20; ++i) {
-    EXPECT_EQ(out[i].first, static_cast<uint64_t>(i + 1));
-  }
+  EXPECT_EQ(out.size(), 500u);
 }
 
 TEST_F(ExternalSorterTest, AddAfterFinishRejected) {

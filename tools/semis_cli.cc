@@ -5,10 +5,12 @@
 //                      [--seed S] --out graph.adj
 //   semis_cli convert  <edges.txt> <graph.adj> [--memory-mb M]
 //   semis_cli sort     <graph.adj> <graph.sadj> [--memory-mb M] [--fan-in K]
+//   semis_cli shard    <graph.adj> <graph.sadjs> [--shards N]
 //   semis_cli stats    <graph.adj>
 //   semis_cli bound    <graph.adj>
 //   semis_cli solve    <graph.adj> [--algo baseline|greedy|onek|twok]
-//                      [--rounds R] [--out set.txt] [--verify]
+//                      [--rounds R] [--shards N] [--threads T]
+//                      [--out set.txt] [--verify]
 //   semis_cli cover    <graph.adj> [--out cover.txt]
 //   semis_cli color    <graph.sadj> [--mis-rounds R]
 //
@@ -28,6 +30,7 @@
 #include "graph/degree_sort.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "graph/sharded_adjacency_file.h"
 #include "util/memory_tracker.h"
 
 namespace semis {
@@ -42,10 +45,11 @@ void PrintUsage(std::FILE* to) {
       "--out F\n"
       "  convert  <edges.txt> <graph.adj> [--memory-mb M]\n"
       "  sort     <graph.adj> <graph.sadj> [--memory-mb M] [--fan-in K]\n"
+      "  shard    <graph.adj> <graph.sadjs> [--shards N]\n"
       "  stats    <graph.adj>\n"
       "  bound    <graph.adj>\n"
       "  solve    <graph.adj> [--algo baseline|greedy|onek|twok] "
-      "[--rounds R] [--out set.txt] [--verify]\n"
+      "[--rounds R] [--shards N] [--threads T] [--out set.txt] [--verify]\n"
       "  cover    <graph.adj> [--out cover.txt]\n"
       "  color    <graph.sadj> [--mis-rounds R]\n");
 }
@@ -176,6 +180,44 @@ int CmdSort(const Args& args) {
   return 0;
 }
 
+// Parses a shard/thread count flag: rejects negatives and garbage instead
+// of letting them wrap through an unsigned cast.
+bool ParseCount(const std::string& text, long min, long max, uint32_t* out) {
+  char* end = nullptr;
+  long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < min || v > max) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+int CmdShard(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  uint32_t num_shards = 0;
+  if (!ParseCount(args.Get("shards", "8"), 1, kMaxAdjacencyShards,
+                  &num_shards)) {
+    std::fprintf(stderr, "error: --shards must be in [1, %u]\n",
+                 kMaxAdjacencyShards);
+    return 1;
+  }
+  IoStats io;
+  Status s = ShardAdjacencyFile(args.positional[0], args.positional[1],
+                                num_shards, &io);
+  if (!s.ok()) return Fail(s);
+  ShardedAdjacencyManifest manifest;
+  s = ReadShardedAdjacencyManifest(args.positional[1], &manifest);
+  if (!s.ok()) return Fail(s);
+  std::printf("sharded %s -> %s (%u shards)\n", args.positional[0].c_str(),
+              args.positional[1].c_str(), manifest.num_shards());
+  for (uint32_t i = 0; i < manifest.num_shards(); ++i) {
+    std::printf("  shard %-3u: %llu records, %llu directed edges\n", i,
+                static_cast<unsigned long long>(
+                    manifest.shards[i].num_records),
+                static_cast<unsigned long long>(
+                    manifest.shards[i].num_directed_edges));
+  }
+  return 0;
+}
+
 int CmdStats(const Args& args) {
   if (args.positional.size() != 1) return Usage();
   GraphStats stats;
@@ -225,6 +267,16 @@ int CmdSolve(const Args& args) {
   }
   opts.max_swap_rounds =
       static_cast<uint32_t>(std::atoi(args.Get("rounds", "0").c_str()));
+  if (!ParseCount(args.Get("shards", "0"), 0, kMaxAdjacencyShards,
+                  &opts.num_shards)) {
+    std::fprintf(stderr, "error: --shards must be in [0, %u]\n",
+                 kMaxAdjacencyShards);
+    return 1;
+  }
+  if (!ParseCount(args.Get("threads", "1"), 0, 4096, &opts.num_threads)) {
+    std::fprintf(stderr, "error: --threads must be in [0, 4096]\n");
+    return 1;
+  }
   opts.verify = args.Has("verify");
   Solver solver(opts);
   SolveResult res;
@@ -302,6 +354,7 @@ int Main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "convert") return CmdConvert(args);
   if (cmd == "sort") return CmdSort(args);
+  if (cmd == "shard") return CmdShard(args);
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "bound") return CmdBound(args);
   if (cmd == "solve") return CmdSolve(args);
