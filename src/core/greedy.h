@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/mis_common.h"
+#include "graph/adjacency_file.h"
 #include "util/status.h"
 
 namespace semis {
@@ -21,6 +22,53 @@ struct GreedyOptions {
   /// cannot silently run GREEDY quality experiments on BASELINE input.
   bool require_degree_sorted = false;
 };
+
+/// Lines 3-8 of Algorithm 1 -- THE commit rule, shared by the sequential
+/// scan and the shard-pipelined executor (core/parallel_greedy.h) so the
+/// byte-identical contract between them is enforced by construction: a
+/// still-INITIAL vertex joins the set and its INITIAL neighbors become
+/// non-IS. (The paper's pseudo-code types line 8 as "IS"; the
+/// surrounding text and the algorithm's correctness require non-IS.)
+inline void GreedyCommitRecord(const VertexRecord& rec,
+                               std::vector<VState>* state) {
+  std::vector<VState>& s = *state;
+  if (s[rec.id] != VState::kInitial) return;
+  s[rec.id] = VState::kI;
+  for (uint32_t i = 0; i < rec.degree; ++i) {
+    if (s[rec.neighbors[i]] == VState::kInitial) {
+      s[rec.neighbors[i]] = VState::kN;
+    }
+  }
+}
+
+/// The scan skeleton of Algorithm 1, shared by the monolithic path
+/// (RunGreedyWithStates) and both paths of the sharded executor: the
+/// degree-sorted gate (one error text everywhere), the O(|V|) state-array
+/// init (lines 1-2), and one pass applying GreedyCommitRecord to every
+/// record. `Source` is any open record source exposing header() and
+/// Next(&rec, &has_next) -- the paths differ only in where records come
+/// from. `path` is quoted in the rejection error.
+template <typename Source>
+Status RunGreedyScan(Source* source, const std::string& path,
+                     const GreedyOptions& options, AlgoResult* res,
+                     std::vector<VState>* state_out) {
+  if (options.require_degree_sorted && !source->header().IsDegreeSorted()) {
+    return Status::InvalidArgument(
+        "greedy requires a degree-sorted adjacency file: " + path);
+  }
+  const uint64_t n = source->header().num_vertices;
+  std::vector<VState> state(n, VState::kInitial);
+  res->memory.Add("state", n * sizeof(VState));
+  VertexRecord rec;
+  bool has_next = false;
+  while (true) {
+    SEMIS_RETURN_IF_ERROR(source->Next(&rec, &has_next));
+    if (!has_next) break;
+    GreedyCommitRecord(rec, &state);
+  }
+  *state_out = std::move(state);
+  return Status::OK();
+}
 
 /// Runs Algorithm 1 over the adjacency file at `path`.
 /// On return `result->in_set` holds a maximal independent set.

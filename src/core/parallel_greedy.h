@@ -1,0 +1,60 @@
+// Copyright (c) the semis authors.
+// Sharded executor for Algorithm 1 (GREEDY) over a SADJS file
+// (graph/sharded_adjacency_file.h). The greedy scan is inherently
+// sequential -- each record's outcome depends on every earlier record --
+// so the parallelism is a pipeline, not a fan-out: worker threads
+// prefetch and decode shards ahead of the scan while the calling thread
+// commits records strictly in global manifest order.
+//
+// Determinism contract: the commit order equals the manifest order for
+// every shard/thread count, so the final state array (and therefore the
+// independent set) is byte-identical to sequential RunGreedy on the
+// equivalent monolithic file. num_threads <= 1 runs the plain sequential
+// scan over the shards (no pool, no buffering): it IS the existing
+// sequential path, merely reading sharded input.
+#ifndef SEMIS_CORE_PARALLEL_GREEDY_H_
+#define SEMIS_CORE_PARALLEL_GREEDY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/mis_common.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Options for the sharded greedy executor.
+struct ParallelGreedyOptions {
+  /// Options shared with the sequential scan (require_degree_sorted is
+  /// enforced against the SADJS manifest flags, with the same error as
+  /// the monolithic path).
+  GreedyOptions greedy;
+  /// Decoder threads prefetching shards (0 = hardware concurrency).
+  /// The result is independent of this value by construction.
+  uint32_t num_threads = 1;
+  /// Cap on decoded shards buffered ahead of the commit scan
+  /// (0 = num_threads + 1). Bounds the pipeline's extra memory to the
+  /// largest `max_buffered_shards` consecutive shards.
+  uint32_t max_buffered_shards = 0;
+};
+
+/// Runs Algorithm 1 over the sharded adjacency file rooted at
+/// `manifest_path`. On return `result->in_set` holds a maximal
+/// independent set identical to sequential RunGreedy on the equivalent
+/// monolithic file.
+Status RunParallelGreedy(const std::string& manifest_path,
+                         const ParallelGreedyOptions& options,
+                         AlgoResult* result);
+
+/// As RunParallelGreedy, but additionally exposes the final state array
+/// (kI / kN per vertex) so the solver can hand it straight to the
+/// parallel swap executor without re-deriving it from the bit vector.
+Status RunParallelGreedyWithStates(const std::string& manifest_path,
+                                   const ParallelGreedyOptions& options,
+                                   AlgoResult* result,
+                                   std::vector<VState>* states);
+
+}  // namespace semis
+
+#endif  // SEMIS_CORE_PARALLEL_GREEDY_H_

@@ -48,7 +48,10 @@ class ParallelSwapRun {
         decision_(n_, Decision::kNone),
         free_(n_, 0) {}
 
-  Status Execute(const BitVector& initial_set, AlgoResult* res);
+  // Exactly one of `initial_set` / `initial_states` is non-null; both
+  // describe the same thing (initial IS membership per vertex).
+  Status Execute(const BitVector* initial_set,
+                 const std::vector<VState>* initial_states, AlgoResult* res);
 
  private:
   // Shard-local SC structures of the 2<->k discovery (Algorithm 4),
@@ -509,7 +512,8 @@ uint64_t ParallelSwapRun::ApplyJoins(RoundStats* round) {
   return joined;
 }
 
-Status ParallelSwapRun::Execute(const BitVector& initial_set,
+Status ParallelSwapRun::Execute(const BitVector* initial_set,
+                                const std::vector<VState>* initial_states,
                                 AlgoResult* res) {
   res->memory.Add("state", n_ * sizeof(uint8_t));
   res->memory.Add("isn", 2 * n_ * sizeof(VertexId));
@@ -526,7 +530,9 @@ Status ParallelSwapRun::Execute(const BitVector& initial_set,
   }
 
   for (uint64_t v = 0; v < n_; ++v) {
-    const bool in = initial_set.Test(v);
+    const bool in = initial_set != nullptr
+                        ? initial_set->Test(v)
+                        : (*initial_states)[v] == VState::kI;
     SetState(static_cast<VertexId>(v), in ? VState::kI : VState::kN);
     if (in) is_size_++;
   }
@@ -584,24 +590,48 @@ Status ParallelSwapRun::Execute(const BitVector& initial_set,
 
 }  // namespace
 
-Status RunParallelSwap(const std::string& manifest_path,
-                       const BitVector& initial_set,
-                       const ParallelSwapOptions& options,
-                       AlgoResult* result) {
+namespace {
+
+Status RunParallelSwapImpl(const std::string& manifest_path,
+                           const BitVector* initial_set,
+                           const std::vector<VState>* initial_states,
+                           const ParallelSwapOptions& options,
+                           AlgoResult* result) {
   WallTimer timer;
   AlgoResult res;
   ShardedAdjacencyManifest manifest;
   SEMIS_RETURN_IF_ERROR(
       ReadShardedAdjacencyManifest(manifest_path, &manifest, &res.io));
-  if (initial_set.size() != manifest.header.num_vertices) {
+  const uint64_t initial_size = initial_set != nullptr
+                                    ? initial_set->size()
+                                    : initial_states->size();
+  if (initial_size != manifest.header.num_vertices) {
     return Status::InvalidArgument(
         "initial set size does not match graph vertex count");
   }
   ParallelSwapRun run(manifest_path, std::move(manifest), options);
-  SEMIS_RETURN_IF_ERROR(run.Execute(initial_set, &res));
+  SEMIS_RETURN_IF_ERROR(run.Execute(initial_set, initial_states, &res));
   res.seconds = timer.ElapsedSeconds();
   *result = std::move(res);
   return Status::OK();
+}
+
+}  // namespace
+
+Status RunParallelSwap(const std::string& manifest_path,
+                       const BitVector& initial_set,
+                       const ParallelSwapOptions& options,
+                       AlgoResult* result) {
+  return RunParallelSwapImpl(manifest_path, &initial_set, nullptr, options,
+                             result);
+}
+
+Status RunParallelSwap(const std::string& manifest_path,
+                       const std::vector<VState>& initial_states,
+                       const ParallelSwapOptions& options,
+                       AlgoResult* result) {
+  return RunParallelSwapImpl(manifest_path, nullptr, &initial_states, options,
+                             result);
 }
 
 }  // namespace semis

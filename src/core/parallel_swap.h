@@ -27,6 +27,7 @@
 #define SEMIS_CORE_PARALLEL_SWAP_H_
 
 #include <string>
+#include <vector>
 
 #include "core/mis_common.h"
 #include "util/bit_vector.h"
@@ -60,6 +61,13 @@ struct ParallelSwapOptions {
 /// shard-local memory use are merged into `result`'s aggregates.
 Status RunParallelSwap(const std::string& manifest_path,
                        const BitVector& initial_set,
+                       const ParallelSwapOptions& options, AlgoResult* result);
+
+/// As above, but seeded from a final greedy state array (kI per member)
+/// so a sharded greedy -> parallel swap pipeline hands its states over
+/// directly instead of round-tripping through a bit vector.
+Status RunParallelSwap(const std::string& manifest_path,
+                       const std::vector<VState>& initial_states,
                        const ParallelSwapOptions& options, AlgoResult* result);
 
 }  // namespace semis

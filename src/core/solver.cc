@@ -4,6 +4,7 @@
 
 #include "core/greedy.h"
 #include "core/one_k_swap.h"
+#include "core/parallel_greedy.h"
 #include "core/parallel_swap.h"
 #include "core/two_k_swap.h"
 #include "core/verify.h"
@@ -61,38 +62,50 @@ Status Solver::SolveFile(const std::string& adjacency_path,
     }
   }
 
-  GreedyOptions greedy_opts;
-  SEMIS_RETURN_IF_ERROR(RunGreedy(work_path, greedy_opts, &res.greedy));
-
-  const bool parallel_swap =
-      options_.num_shards > 1 && options_.swap != SwapMode::kNone;
+  // Sharded pipeline: the (sorted) file is split into shards up front and
+  // BOTH stages run over them -- greedy on the shard-pipelined executor,
+  // swaps on the parallel round executor, which is seeded with greedy's
+  // final state array so the monolithic file is never re-read. Every
+  // stage's result is byte-identical for any num_threads.
+  const bool sharded = options_.num_shards > 1;
   const AlgoResult* final_stage = &res.greedy;
-  if (parallel_swap) {
+  if (sharded) {
     WallTimer shard_timer;
     SEMIS_RETURN_IF_ERROR(intermediate_dir());
     const std::string manifest_path = inter_dir + "/sharded.sadjs";
     SEMIS_RETURN_IF_ERROR(ShardAdjacencyFile(work_path, manifest_path,
                                              options_.num_shards, &res.io));
     res.shard_seconds = shard_timer.ElapsedSeconds();
-    ParallelSwapOptions swap_opts;
-    swap_opts.max_rounds = options_.max_swap_rounds;
-    swap_opts.num_threads = options_.num_threads;
-    swap_opts.enable_two_k = options_.swap == SwapMode::kTwoK;
-    SEMIS_RETURN_IF_ERROR(RunParallelSwap(manifest_path, res.greedy.in_set,
-                                          swap_opts, &res.swap));
-    final_stage = &res.swap;
-  } else if (options_.swap == SwapMode::kOneK) {
-    OneKSwapOptions swap_opts;
-    swap_opts.max_rounds = options_.max_swap_rounds;
-    SEMIS_RETURN_IF_ERROR(
-        RunOneKSwap(work_path, res.greedy.in_set, swap_opts, &res.swap));
-    final_stage = &res.swap;
-  } else if (options_.swap == SwapMode::kTwoK) {
-    TwoKSwapOptions swap_opts;
-    swap_opts.max_rounds = options_.max_swap_rounds;
-    SEMIS_RETURN_IF_ERROR(
-        RunTwoKSwap(work_path, res.greedy.in_set, swap_opts, &res.swap));
-    final_stage = &res.swap;
+    ParallelGreedyOptions greedy_opts;
+    greedy_opts.num_threads = options_.num_threads;
+    std::vector<VState> greedy_states;
+    SEMIS_RETURN_IF_ERROR(RunParallelGreedyWithStates(
+        manifest_path, greedy_opts, &res.greedy, &greedy_states));
+    if (options_.swap != SwapMode::kNone) {
+      ParallelSwapOptions swap_opts;
+      swap_opts.max_rounds = options_.max_swap_rounds;
+      swap_opts.num_threads = options_.num_threads;
+      swap_opts.enable_two_k = options_.swap == SwapMode::kTwoK;
+      SEMIS_RETURN_IF_ERROR(RunParallelSwap(manifest_path, greedy_states,
+                                            swap_opts, &res.swap));
+      final_stage = &res.swap;
+    }
+  } else {
+    GreedyOptions greedy_opts;
+    SEMIS_RETURN_IF_ERROR(RunGreedy(work_path, greedy_opts, &res.greedy));
+    if (options_.swap == SwapMode::kOneK) {
+      OneKSwapOptions swap_opts;
+      swap_opts.max_rounds = options_.max_swap_rounds;
+      SEMIS_RETURN_IF_ERROR(
+          RunOneKSwap(work_path, res.greedy.in_set, swap_opts, &res.swap));
+      final_stage = &res.swap;
+    } else if (options_.swap == SwapMode::kTwoK) {
+      TwoKSwapOptions swap_opts;
+      swap_opts.max_rounds = options_.max_swap_rounds;
+      SEMIS_RETURN_IF_ERROR(
+          RunTwoKSwap(work_path, res.greedy.in_set, swap_opts, &res.swap));
+      final_stage = &res.swap;
+    }
   }
 
   res.set = final_stage->in_set;

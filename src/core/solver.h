@@ -42,14 +42,17 @@ struct SolverOptions {
   /// Re-scan the graph at the end and fail on a non-independent or
   /// non-maximal result (paranoid mode).
   bool verify = false;
-  /// Number of adjacency shards for the parallel swap executor. Values
-  /// <= 1 keep the sequential single-file swap path. With > 1 shards the
-  /// (sorted) file is split into contiguous shards and the swap stage
-  /// runs on the parallel round executor (core/parallel_swap.h), whose
-  /// result is deterministic for any `num_threads`.
+  /// Number of adjacency shards for the parallel executors. Values <= 1
+  /// keep the sequential single-file path. With > 1 shards the (sorted)
+  /// file is split into contiguous shards up front and the WHOLE pipeline
+  /// runs over them: the greedy stage on the shard-pipelined executor
+  /// (core/parallel_greedy.h) and the swap stage on the parallel round
+  /// executor (core/parallel_swap.h), which is seeded with greedy's final
+  /// state array instead of re-reading the monolithic file. Both stages
+  /// are deterministic for any `num_threads`.
   uint32_t num_shards = 0;
-  /// Worker threads of the parallel swap executor (0 = hardware
-  /// concurrency). Only used when num_shards > 1.
+  /// Worker threads of the parallel executors (0 = hardware concurrency).
+  /// Only used when num_shards > 1.
   uint32_t num_threads = 1;
 };
 

@@ -328,6 +328,148 @@ Status ShardedAdjacencyScanner::Next(VertexRecord* rec, bool* has_next) {
   }
 }
 
+ManifestOrderedShardCursor::ManifestOrderedShardCursor(IoStats* stats)
+    : stats_(stats) {}
+
+ManifestOrderedShardCursor::~ManifestOrderedShardCursor() { (void)Close(); }
+
+Status ManifestOrderedShardCursor::Open(const std::string& manifest_path,
+                                        ThreadPool* pool,
+                                        uint32_t max_buffered_shards) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument(
+        "manifest-ordered cursor requires a thread pool");
+  }
+  if (open_) {
+    return Status::InvalidArgument("cursor is already open");
+  }
+  manifest_path_ = manifest_path;
+  SEMIS_RETURN_IF_ERROR(
+      ReadShardedAdjacencyManifest(manifest_path, &manifest_, stats_));
+  if (stats_ != nullptr) stats_->sequential_scans++;
+  pool_ = pool;
+  window_ = max_buffered_shards != 0
+                ? max_buffered_shards
+                : static_cast<uint32_t>(pool->size()) + 1;
+  slots_.assign(manifest_.num_shards(), Slot());
+  worker_io_.assign(pool->size(), IoStats());
+  consume_index_ = 0;
+  cancel_ = false;
+  buffered_bytes_ = 0;
+  peak_buffered_bytes_ = 0;
+  current_words_.clear();
+  current_offset_ = 0;
+  current_loaded_ = false;
+  open_ = true;
+  pool_->BeginParallelFor(manifest_.num_shards(), [this](size_t shard,
+                                                         size_t worker) {
+    DecodeShard(static_cast<uint32_t>(shard), worker);
+  });
+  return Status::OK();
+}
+
+void ManifestOrderedShardCursor::DecodeShard(uint32_t shard, size_t worker) {
+  {
+    // Workers pull shard indices in ascending order, so blocking on the
+    // window here never starves a lower shard: everything the consumer is
+    // waiting for is either decoded or within the window.
+    std::unique_lock<std::mutex> lock(mu_);
+    window_cv_.wait(lock, [&] {
+      return cancel_ || shard < consume_index_ + window_;
+    });
+    if (cancel_) return;
+  }
+  Slot decoded;
+  AdjacencyShardReader reader(&worker_io_[worker]);
+  decoded.status = reader.Open(manifest_path_, manifest_, shard);
+  if (decoded.status.ok()) {
+    decoded.words.reserve(2 * manifest_.shards[shard].num_records +
+                          manifest_.shards[shard].num_directed_edges);
+    VertexRecord rec;
+    bool has_next = false;
+    while (true) {
+      decoded.status = reader.Next(&rec, &has_next);
+      if (!decoded.status.ok() || !has_next) break;
+      decoded.words.push_back(rec.id);
+      decoded.words.push_back(rec.degree);
+      decoded.words.insert(decoded.words.end(), rec.neighbors,
+                           rec.neighbors + rec.degree);
+    }
+    Status close_status = reader.Close();
+    if (decoded.status.ok()) decoded.status = close_status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = slots_[shard];
+    slot.words = std::move(decoded.words);
+    slot.status = std::move(decoded.status);
+    slot.ready = true;
+    buffered_bytes_ += slot.words.size() * sizeof(VertexId);
+    if (buffered_bytes_ > peak_buffered_bytes_) {
+      peak_buffered_bytes_ = buffered_bytes_;
+    }
+    ready_cv_.notify_all();
+  }
+}
+
+Status ManifestOrderedShardCursor::Next(VertexRecord* rec, bool* has_next) {
+  if (!open_) {
+    return Status::InvalidArgument("cursor is not open");
+  }
+  while (true) {
+    if (current_loaded_ && current_offset_ < current_words_.size()) {
+      rec->id = current_words_[current_offset_];
+      rec->degree = current_words_[current_offset_ + 1];
+      rec->neighbors = current_words_.data() + current_offset_ + 2;
+      current_offset_ += 2 + rec->degree;
+      *has_next = true;
+      return Status::OK();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (current_loaded_) {
+      // Finished a shard: drop its buffer and open the window one slot.
+      current_loaded_ = false;
+      buffered_bytes_ -= current_words_.size() * sizeof(VertexId);
+      current_words_.clear();
+      current_words_.shrink_to_fit();
+      consume_index_++;
+      window_cv_.notify_all();
+    }
+    if (consume_index_ >= manifest_.num_shards()) {
+      *has_next = false;
+      return Status::OK();
+    }
+    Slot& slot = slots_[consume_index_];
+    ready_cv_.wait(lock, [&] { return slot.ready; });
+    if (!slot.status.ok()) return slot.status;
+    // The moved-out buffer stays charged to buffered_bytes_ until the
+    // shard is fully consumed; size is preserved through the move.
+    current_words_ = std::move(slot.words);
+    current_offset_ = 0;
+    current_loaded_ = true;
+  }
+}
+
+Status ManifestOrderedShardCursor::Close() {
+  if (!open_) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancel_ = true;
+    window_cv_.notify_all();
+  }
+  pool_->WaitForCompletion();
+  for (const IoStats& io : worker_io_) {
+    if (stats_ != nullptr) stats_->MergeFrom(io);
+  }
+  worker_io_.clear();
+  slots_.clear();
+  current_words_.clear();
+  current_loaded_ = false;
+  open_ = false;
+  pool_ = nullptr;
+  return Status::OK();
+}
+
 Status ShardAdjacencyFile(const std::string& input_path,
                           const std::string& manifest_path,
                           uint32_t num_shards, IoStats* stats) {

@@ -27,7 +27,9 @@
 #ifndef SEMIS_GRAPH_SHARDED_ADJACENCY_FILE_H_
 #define SEMIS_GRAPH_SHARDED_ADJACENCY_FILE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,7 @@
 #include "io/io_stats.h"
 #include "util/common.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace semis {
 
@@ -170,6 +173,96 @@ class ShardedAdjacencyScanner {
   AdjacencyShardReader reader_;
   uint32_t current_shard_ = 0;
   bool shard_open_ = false;
+};
+
+/// Manifest-ordered multi-shard cursor: yields exactly the record stream
+/// of the equivalent monolithic file (like ShardedAdjacencyScanner), but
+/// decodes shards ahead of the consumer on a caller-provided thread pool.
+///
+/// Contract (see docs/formats.md):
+///   * records are delivered strictly in global manifest order, crossing
+///     shard boundaries transparently -- the prefetching never reorders,
+///     drops, or duplicates a record, so any sequential algorithm driven
+///     by this cursor produces output byte-identical to a run over the
+///     monolithic file, at every pool size;
+///   * at most `max_buffered_shards` decoded shards are held in memory at
+///     once (the consumer's current shard plus the prefetch window);
+///     workers that run ahead of the window block until the consumer
+///     frees a slot, so the memory bound holds for any shard count;
+///   * each worker decodes with a private AdjacencyShardReader and
+///     IoStats; per-worker I/O merges into the caller's stats at Close;
+///   * a decode error in shard K surfaces from the Next() call that
+///     reaches shard K, after every record of shards 0..K-1 was yielded.
+///
+/// The cursor owns the pool's work queue from Open to Close (the pool's
+/// one-job-at-a-time rule); callers reusing a pool across stages must
+/// Close the cursor before submitting other work.
+class ManifestOrderedShardCursor {
+ public:
+  /// `stats` may be null. Counts the manifest read and one sequential
+  /// scan; per-worker shard I/O folds in at Close.
+  explicit ManifestOrderedShardCursor(IoStats* stats = nullptr);
+  ~ManifestOrderedShardCursor();
+
+  ManifestOrderedShardCursor(const ManifestOrderedShardCursor&) = delete;
+  ManifestOrderedShardCursor& operator=(const ManifestOrderedShardCursor&) =
+      delete;
+
+  /// Opens the manifest and starts prefetching on `pool` (required, must
+  /// outlive the cursor). `max_buffered_shards` caps decoded shards held
+  /// in memory (0 = pool->size() + 1).
+  Status Open(const std::string& manifest_path, ThreadPool* pool,
+              uint32_t max_buffered_shards = 0);
+
+  const ShardedAdjacencyManifest& manifest() const { return manifest_; }
+  const AdjacencyFileHeader& header() const { return manifest_.header; }
+
+  /// Next record in global order. `rec->neighbors` stays valid until the
+  /// next call.
+  Status Next(VertexRecord* rec, bool* has_next);
+
+  /// Cancels outstanding prefetches, drains the pool job and merges
+  /// per-worker IoStats into the caller's stats. Safe to call twice; the
+  /// destructor calls it.
+  Status Close();
+
+  /// Largest total of decoded-but-unconsumed shard bytes held at any
+  /// point (for the memory accounting of algorithms driven by the
+  /// cursor).
+  size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
+
+ private:
+  // One decoded shard: the record stream as flat u32 words
+  // (id, degree, neighbor[degree], ...), validated during decode.
+  struct Slot {
+    std::vector<VertexId> words;
+    Status status;
+    bool ready = false;
+  };
+
+  void DecodeShard(uint32_t shard, size_t worker);
+
+  IoStats* stats_;
+  std::string manifest_path_;
+  ShardedAdjacencyManifest manifest_;
+  ThreadPool* pool_ = nullptr;
+  uint32_t window_ = 1;
+  bool open_ = false;
+
+  std::mutex mu_;
+  std::condition_variable ready_cv_;   // consumer waits for a decoded slot
+  std::condition_variable window_cv_;  // workers wait for window headroom
+  std::vector<Slot> slots_;
+  std::vector<IoStats> worker_io_;
+  uint32_t consume_index_ = 0;  // shard currently being consumed
+  bool cancel_ = false;
+  size_t buffered_bytes_ = 0;
+  size_t peak_buffered_bytes_ = 0;
+
+  // Consumer-side walk state of the current shard.
+  std::vector<VertexId> current_words_;
+  size_t current_offset_ = 0;
+  bool current_loaded_ = false;
 };
 
 /// Splits the monolithic adjacency file at `input_path` into `num_shards`

@@ -1,5 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace semis {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -24,35 +27,58 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::ParallelFor(
     size_t num_items, const std::function<void(size_t, size_t)>& fn) {
-  if (num_items == 0) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  job_fn_ = &fn;
+  BeginParallelFor(num_items, fn);
+  WaitForCompletion();
+}
+
+void ThreadPool::BeginParallelFor(size_t num_items,
+                                  std::function<void(size_t, size_t)> fn) {
+  if (num_items == 0) return;  // job_active_ stays false; Wait is a no-op
+  std::lock_guard<std::mutex> lock(mu_);
+  // One job at a time: overlapping Begins would reset the completion
+  // barrier mid-job and re-issue in-flight items under the new fn. Abort
+  // unconditionally (not assert) so the contract holds under NDEBUG too.
+  if (job_active_) {
+    std::fprintf(stderr,
+                 "ThreadPool::BeginParallelFor called while a job is in "
+                 "flight; call WaitForCompletion first\n");
+    std::abort();
+  }
+  job_fn_ = std::move(fn);
   job_items_ = num_items;
   next_item_.store(0, std::memory_order_relaxed);
   workers_done_ = 0;
+  job_active_ = true;
   epoch_++;
   job_cv_.notify_all();
+}
+
+void ThreadPool::WaitForCompletion() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!job_active_) return;
   done_cv_.wait(lock, [this] { return workers_done_ == threads_.size(); });
+  job_active_ = false;
   job_fn_ = nullptr;
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
   uint64_t seen_epoch = 0;
   while (true) {
-    const std::function<void(size_t, size_t)>* fn = nullptr;
     size_t items = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       job_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
       if (stop_) return;
       seen_epoch = epoch_;
-      fn = job_fn_;
       items = job_items_;
     }
+    // job_fn_ stays valid until WaitForCompletion clears it, which cannot
+    // happen before every worker has passed the workers_done_ barrier
+    // below, so the unlocked reference is safe.
     while (true) {
       const size_t item = next_item_.fetch_add(1, std::memory_order_relaxed);
       if (item >= items) break;
-      (*fn)(item, worker_index);
+      job_fn_(item, worker_index);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

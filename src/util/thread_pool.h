@@ -1,11 +1,17 @@
 // Copyright (c) the semis authors.
-// A minimal fixed-size thread pool for the parallel swap executor. The
-// only primitive it offers is a blocking parallel-for over an index range:
-// workers pull indices from a shared atomic counter, so work items of
-// uneven cost (adjacency shards) balance automatically. With one worker
-// the items are processed strictly in ascending order, which makes the
-// single-threaded execution the sequential reference path of every
-// algorithm built on top.
+// A minimal fixed-size thread pool for the parallel executors (swap rounds
+// and the sharded greedy prefetcher). Its primitive is a parallel-for over
+// an index range: workers pull indices from a shared atomic counter, so
+// work items of uneven cost (adjacency shards) balance automatically. With
+// one worker the items are processed strictly in ascending order, which
+// makes the single-threaded execution the sequential reference path of
+// every algorithm built on top.
+//
+// The parallel-for comes in two flavors sharing one work queue: the
+// blocking ParallelFor, and a BeginParallelFor/WaitForCompletion split for
+// producer-consumer pipelines where the submitting thread keeps consuming
+// results (e.g. the manifest-ordered shard cursor commits records while
+// the pool decodes shards ahead of it).
 #ifndef SEMIS_UTIL_THREAD_POOL_H_
 #define SEMIS_UTIL_THREAD_POOL_H_
 
@@ -41,14 +47,27 @@ class ThreadPool {
   void ParallelFor(size_t num_items,
                    const std::function<void(size_t item, size_t worker)>& fn);
 
+  /// Non-blocking half of ParallelFor: hands the job to the workers and
+  /// returns immediately, so the calling thread can consume what the
+  /// workers produce. The pool keeps its own copy of `fn`. Exactly one
+  /// job may be in flight; every Begin must be paired with a
+  /// WaitForCompletion before the next Begin (or destruction).
+  void BeginParallelFor(size_t num_items,
+                        std::function<void(size_t item, size_t worker)> fn);
+
+  /// Blocks until the job started by BeginParallelFor has finished (all
+  /// items processed by all workers). No-op when no job is in flight.
+  void WaitForCompletion();
+
  private:
   void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable job_cv_;   // workers wait for a new job epoch
-  std::condition_variable done_cv_;  // ParallelFor waits for completion
-  const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
+  std::condition_variable done_cv_;  // WaitForCompletion waits here
+  std::function<void(size_t, size_t)> job_fn_;
+  bool job_active_ = false;
   size_t job_items_ = 0;
   std::atomic<size_t> next_item_{0};
   size_t workers_done_ = 0;

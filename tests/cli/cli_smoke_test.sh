@@ -51,6 +51,19 @@ set -e
 cmp -s "$work/set_par.txt" "$work/set_seq.txt" \
     || fail "parallel result differs between 1 and 2 threads"
 
+# Sharded GREEDY contract: with no swap stage the sharded, multi-threaded
+# pipeline must reproduce the plain sequential solve byte for byte, for
+# every shard/thread combination.
+"$CLI" solve "$work/g.sadj" --algo greedy --out "$work/greedy_seq.txt"
+for shards in 1 3; do
+  for threads in 1 2; do
+    "$CLI" solve "$work/g.sadj" --algo greedy --shards "$shards" \
+        --threads "$threads" --out "$work/greedy_par.txt"
+    cmp -s "$work/greedy_par.txt" "$work/greedy_seq.txt" \
+        || fail "sharded greedy differs at $shards shards / $threads threads"
+  done
+done
+
 # --- pipeline from a hand-written edge list --------------------------------
 printf '# toy graph\n0\t1\n1\t2\n2\t0\n2\t3\n3\t4\n4\t0\n' > "$work/edges.txt"
 "$CLI" convert "$work/edges.txt" "$work/e.adj" --memory-mb 8

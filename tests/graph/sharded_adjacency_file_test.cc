@@ -168,6 +168,106 @@ TEST_F(ShardedAdjacencyFileTest, CorruptManifestRejected) {
   EXPECT_TRUE(ReadShardedAdjacencyManifest(mono, &m).IsCorruption());
 }
 
+TEST_F(ShardedAdjacencyFileTest, CursorYieldsManifestOrderAtEveryPoolSize) {
+  // The manifest-ordered cursor contract: identical record stream to the
+  // sequential sharded scanner, for any pool size and buffer window.
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(5000, 2.0), 30);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 5));
+  auto expected = DrainSharded(manifest);
+
+  for (size_t pool_size : {1u, 2u, 4u}) {
+    ThreadPool pool(pool_size);
+    ManifestOrderedShardCursor cursor;
+    ASSERT_OK(cursor.Open(manifest, &pool));
+    std::vector<std::pair<VertexId, std::vector<VertexId>>> got;
+    VertexRecord rec;
+    bool has_next = false;
+    while (true) {
+      ASSERT_OK(cursor.Next(&rec, &has_next));
+      if (!has_next) break;
+      got.emplace_back(rec.id, std::vector<VertexId>(
+                                   rec.neighbors, rec.neighbors + rec.degree));
+    }
+    ASSERT_OK(cursor.Close());
+    EXPECT_EQ(got, expected) << "pool size " << pool_size;
+    EXPECT_GT(cursor.peak_buffered_bytes(), 0u);
+  }
+}
+
+TEST_F(ShardedAdjacencyFileTest, CursorBoundedWindowAndEarlyClose) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(4000, 2.0), 31);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 8));
+  {
+    // A window of one shard must still drain everything, even with more
+    // workers than slots.
+    ThreadPool pool(4);
+    ManifestOrderedShardCursor cursor;
+    ASSERT_OK(cursor.Open(manifest, &pool, /*max_buffered_shards=*/1));
+    uint64_t records = 0;
+    VertexRecord rec;
+    bool has_next = false;
+    while (true) {
+      ASSERT_OK(cursor.Next(&rec, &has_next));
+      if (!has_next) break;
+      records++;
+    }
+    EXPECT_EQ(records, g.NumVertices());
+    ASSERT_OK(cursor.Close());
+  }
+  {
+    // Abandoning a scan mid-way (destructor-driven Close) must not hang
+    // on workers blocked at the window.
+    ThreadPool pool(4);
+    ManifestOrderedShardCursor cursor;
+    ASSERT_OK(cursor.Open(manifest, &pool, /*max_buffered_shards=*/1));
+    VertexRecord rec;
+    bool has_next = false;
+    ASSERT_OK(cursor.Next(&rec, &has_next));
+    EXPECT_TRUE(has_next);
+  }
+}
+
+TEST_F(ShardedAdjacencyFileTest, CursorMergesWorkerIoAndCountsOneScan) {
+  Graph g = GenerateErdosRenyi(1000, 3000, 32);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 4));
+  IoStats io;
+  ThreadPool pool(3);
+  ManifestOrderedShardCursor cursor(&io);
+  ASSERT_OK(cursor.Open(manifest, &pool));
+  VertexRecord rec;
+  bool has_next = false;
+  while (true) {
+    ASSERT_OK(cursor.Next(&rec, &has_next));
+    if (!has_next) break;
+  }
+  ASSERT_OK(cursor.Close());
+  EXPECT_EQ(io.sequential_scans, 1u);
+  EXPECT_GE(io.files_opened, 5u);  // manifest + 4 shards
+  uint64_t manifest_size = 0, shard0_size = 0;
+  ASSERT_OK(GetFileSize(manifest, &manifest_size));
+  ASSERT_OK(GetFileSize(ShardFilePath(manifest, 0), &shard0_size));
+  EXPECT_GT(io.bytes_read, manifest_size + shard0_size);
+}
+
+TEST_F(ShardedAdjacencyFileTest, CursorRequiresPoolAndRejectsDoubleOpen) {
+  Graph g = GenerateErdosRenyi(10, 9, 33);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 2));
+  ManifestOrderedShardCursor cursor;
+  EXPECT_TRUE(cursor.Open(manifest, nullptr).IsInvalidArgument());
+  ThreadPool pool(2);
+  ASSERT_OK(cursor.Open(manifest, &pool));
+  EXPECT_TRUE(cursor.Open(manifest, &pool).IsInvalidArgument());
+  ASSERT_OK(cursor.Close());
+}
+
 TEST_F(ShardedAdjacencyFileTest, ShardReaderValidatesIndex) {
   Graph g = GenerateErdosRenyi(50, 100, 29);
   std::string mono = WriteGraphFile(&scratch_, g);

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON captures and flag timing regressions.
+
+Used by the `bench-diff` job of .github/workflows/nightly-bench.yml to
+compare tonight's BENCH_*.json capture against the previous successful
+run's artifact (or, when none exists yet, against the committed
+bench/BENCH_baseline.json seed, in advisory mode).
+
+  bench_diff.py --baseline PATH --current PATH [--threshold 0.20]
+                [--advisory] [--summary FILE]
+
+PATH may be a single JSON file or a directory; directories are searched
+recursively for *.json files and every file's "benchmarks" array is
+pooled. Benchmarks are keyed by run name (e.g. "BM_ParallelGreedy/4/
+real_time"); when a capture was taken with --benchmark_repetitions the
+median aggregate is preferred, then the mean, then the raw iteration.
+
+Exit status: 1 when any benchmark present on both sides regressed by more
+than --threshold (relative real_time), 0 otherwise. --advisory always
+exits 0 (used when the baseline is the committed seed, whose absolute
+numbers come from different hardware). Emits GitHub workflow annotations
+(::error / ::notice) and, with --summary (defaulting to
+$GITHUB_STEP_SUMMARY), a markdown table.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Aggregate preference: lower rank wins for the same run name.
+_KIND_RANK = {"median": 0, "mean": 1, "raw": 2}
+
+
+def collect_files(path):
+    """Yields JSON files under `path` (a file, or a directory searched
+    recursively -- artifact downloads nest captures one directory deep)."""
+    p = Path(path)
+    if p.is_file():
+        yield p
+        return
+    if p.is_dir():
+        yield from sorted(p.rglob("*.json"))
+        return
+    raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+def load_benchmarks(path):
+    """Returns ({run_name: real_time_ns}, {errored run_name}) pooled over
+    every capture file. Errored entries (e.g. a SkipWithError from the
+    in-loop determinism assertions) are reported separately so the gate
+    can fail on them -- the binary itself still exits 0."""
+    chosen = {}  # name -> (rank, time_ns)
+    errored = set()
+    for file in collect_files(path):
+        try:
+            with open(file, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (json.JSONDecodeError, OSError) as e:
+            print(f"::warning::bench_diff: skipping unreadable {file}: {e}")
+            continue
+        for entry in doc.get("benchmarks", []):
+            if entry.get("error_occurred"):
+                errored.add(entry.get("run_name") or entry.get("name"))
+                continue
+            name = entry.get("run_name") or entry.get("name")
+            if name is None or "real_time" not in entry:
+                continue
+            kind = (entry.get("aggregate_name", "raw")
+                    if entry.get("run_type") == "aggregate" else "raw")
+            if kind not in _KIND_RANK:
+                continue  # stddev/cv/min/max are not timings to compare
+            unit = _TIME_UNIT_NS.get(entry.get("time_unit", "ns"))
+            if unit is None:
+                continue
+            time_ns = float(entry["real_time"]) * unit
+            rank = _KIND_RANK[kind]
+            prev = chosen.get(name)
+            if prev is None or rank < prev[0]:
+                chosen[name] = (rank, time_ns)
+    return {name: time_ns for name, (_, time_ns) in chosen.items()}, errored
+
+
+def format_ms(ns):
+    return f"{ns / 1e6:.3f}ms"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="previous capture: JSON file or directory")
+    parser.add_argument("--current", required=True,
+                        help="new capture: JSON file or directory")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative real_time increase that fails the "
+                             "run (default 0.20 = 20%%)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="annotate but always exit 0 (seed baselines "
+                             "from different hardware)")
+    parser.add_argument("--summary",
+                        default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                        help="markdown summary file (default: "
+                             "$GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args()
+
+    baseline, _ = load_benchmarks(args.baseline)
+    current, current_errors = load_benchmarks(args.current)
+    if not baseline:
+        print(f"::warning::bench_diff: no benchmarks in baseline "
+              f"{args.baseline}")
+    if not current:
+        print(f"::error::bench_diff: no benchmarks in current capture "
+              f"{args.current}")
+        return 0 if args.advisory else 1
+
+    shared = sorted(set(baseline) & set(current))
+    only_old = sorted(set(baseline) - set(current))
+    only_new = sorted(set(current) - set(baseline))
+
+    rows = []
+    regressions = []
+    for name in shared:
+        old, new = baseline[name], current[name]
+        delta = (new - old) / old if old > 0 else 0.0
+        status = "ok"
+        if delta > args.threshold:
+            status = "REGRESSION"
+            regressions.append((name, old, new, delta))
+        elif delta < -args.threshold:
+            status = "improved"
+        rows.append((name, old, new, delta, status))
+
+    for name, old, new, delta, status in rows:
+        line = (f"{name}: {format_ms(old)} -> {format_ms(new)} "
+                f"({delta:+.1%})")
+        if status == "REGRESSION":
+            print(f"::error::bench regression: {line} exceeds "
+                  f"{args.threshold:.0%} threshold")
+        elif status == "improved":
+            print(f"::notice::bench improvement: {line}")
+        else:
+            print(f"bench_diff: {line}")
+    for name in only_new:
+        print(f"bench_diff: {name} is new (no baseline), "
+              f"{format_ms(current[name])}")
+    # An errored or vanished benchmark is a gate failure, not a skip: the
+    # in-loop determinism assertions surface exactly this way, and a
+    # silently dropped benchmark would read as "no regression".
+    failures = len(regressions)
+    for name in sorted(current_errors):
+        print(f"::error::bench_diff: {name} reported an error "
+              f"(SkipWithError) in tonight's capture")
+        failures += 1
+    missing = [name for name in only_old if name not in current_errors]
+    for name in missing:
+        print(f"::error::bench_diff: {name} disappeared from the capture "
+              f"(present in baseline)")
+        failures += 1
+
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as f:
+            f.write("## bench-diff\n\n")
+            mode = " (advisory: seed baseline)" if args.advisory else ""
+            f.write(f"{len(shared)} benchmarks compared, "
+                    f"{len(regressions)} regressions over "
+                    f"{args.threshold:.0%}{mode}.\n\n")
+            f.write("| benchmark | baseline | current | delta | |\n")
+            f.write("|---|---:|---:|---:|---|\n")
+            for name, old, new, delta, status in rows:
+                marker = {"REGRESSION": "🔺", "improved": "✅"}.get(status, "")
+                f.write(f"| `{name}` | {format_ms(old)} | {format_ms(new)} "
+                        f"| {delta:+.1%} | {marker} |\n")
+            for name in only_new:
+                f.write(f"| `{name}` | — | {format_ms(current[name])} "
+                        f"| new | |\n")
+
+    if failures and not args.advisory:
+        print(f"bench_diff: FAIL — {len(regressions)} regression(s) over "
+              f"{args.threshold:.0%}, {len(current_errors)} errored, "
+              f"{len(missing)} missing", file=sys.stderr)
+        return 1
+    print("bench_diff: OK" + (" (advisory)" if args.advisory else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

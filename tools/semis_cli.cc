@@ -11,6 +11,9 @@
 //   semis_cli solve    <graph.adj> [--algo baseline|greedy|onek|twok]
 //                      [--rounds R] [--shards N] [--threads T]
 //                      [--out set.txt] [--verify]
+//                      (--shards > 1 runs the WHOLE pipeline -- greedy and
+//                       the swap stage -- over shards with T threads; the
+//                       result is byte-identical for every thread count)
 //   semis_cli cover    <graph.adj> [--out cover.txt]
 //   semis_cli color    <graph.sadj> [--mis-rounds R]
 //
@@ -294,6 +297,10 @@ int CmdSolve(const Args& args) {
               MemoryTracker::FormatBytes(res.peak_memory_bytes).c_str(),
               static_cast<unsigned long long>(res.io.sequential_scans),
               MemoryTracker::FormatBytes(res.io.bytes_read).c_str());
+  if (opts.num_shards > 1) {
+    std::printf("  sharded pipeline: %u shards, %u threads, split in %.2fs\n",
+                opts.num_shards, opts.num_threads, res.shard_seconds);
+  }
   if (args.Has("out")) {
     s = WriteSetText(res.set, args.Get("out"));
     if (!s.ok()) return Fail(s);
