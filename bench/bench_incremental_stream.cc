@@ -1,0 +1,246 @@
+// Streaming-update benchmark (ISSUE 4 / ROADMAP "incremental updates
+// under edge streams on top of the sharded format"): updates/sec of the
+// batched apply -> parallel repair loop, and repair latency as a function
+// of the pending delta size, over a sharded PLRG.
+//
+// Each iteration applies one batch of updates and runs Repair(); the
+// delta is force-compacted between iterations (outside the timing), so
+// every measured repair sees exactly `batch` pending delta entries --
+// that makes the batch sweep a direct "repair latency vs delta size"
+// curve, and items/sec the sustained update throughput.
+//
+// Determinism is asserted inside the timing loop: a 1-thread mirror
+// instance consumes the same stream (outside the timing), and the
+// measured instance's set must match it byte for byte after every repair
+// -- the executor's contract that thread count never changes the result,
+// with the 1-thread path being the sequential reference.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/incremental_stream.h"
+#include "core/parallel_greedy.h"
+#include "gen/plrg.h"
+#include "graph/degree_sort.h"
+#include "graph/graph_io.h"
+#include "graph/sharded_adjacency_file.h"
+#include "io/scratch.h"
+#include "util/bit_vector.h"
+#include "util/random.h"
+
+namespace semis {
+namespace {
+
+// Vertex count knob: SEMIS_STREAM_VERTICES (default 100000, ~800k
+// directed edges at avg degree 8).
+uint64_t BenchVertexCount() {
+  const char* env = std::getenv("SEMIS_STREAM_VERTICES");
+  if (env != nullptr) {
+    uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 100000;
+}
+
+constexpr uint32_t kNumShards = 16;
+
+struct StreamEnv {
+  StreamEnv() {
+    (void)ScratchDir::Create("semis-streambench", &scratch);
+    Graph graph = GeneratePlrg(
+        PlrgSpec::ForVerticesAndAvgDegree(BenchVertexCount(), 8.0), 777);
+    num_vertices = graph.NumVertices();
+    directed_edges = graph.NumDirectedEdges();
+    std::string mono = scratch.NewFilePath("graph.adj");
+    (void)WriteGraphToAdjacencyFile(graph, mono);
+    sorted_path = scratch.NewFilePath("sorted.sadj");
+    (void)BuildDegreeSortedAdjacencyFile(mono, sorted_path,
+                                         DegreeSortOptions{});
+    std::printf(
+        "# bench_incremental_stream: %llu vertices, %llu directed edges, "
+        "%u shards, %u hardware threads\n",
+        static_cast<unsigned long long>(num_vertices),
+        static_cast<unsigned long long>(directed_edges), kNumShards,
+        std::thread::hardware_concurrency());
+  }
+
+  // Fresh sharded copy + initial greedy set for one benchmark run
+  // (updates mutate the shards, so runs must not share them).
+  bool NewShardedCopy(std::string* manifest, BitVector* initial) {
+    *manifest = scratch.NewFilePath("stream.sadjs");
+    if (!ShardAdjacencyFile(sorted_path, *manifest, kNumShards).ok()) {
+      return false;
+    }
+    AlgoResult greedy;
+    ParallelGreedyOptions opts;
+    if (!RunParallelGreedy(*manifest, opts, &greedy).ok()) return false;
+    *initial = std::move(greedy.in_set);
+    return true;
+  }
+
+  ScratchDir scratch;
+  std::string sorted_path;
+  uint64_t num_vertices = 0;
+  uint64_t directed_edges = 0;
+};
+
+StreamEnv& Env() {
+  static StreamEnv env;
+  return env;
+}
+
+bool SameSet(const BitVector& a, const BitVector& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.Test(i) != b.Test(i)) return false;
+  }
+  return true;
+}
+
+// Generates one batch: ~55% inserts of fresh random pairs, ~45% deletes
+// of stream-inserted edges, so the graph stays near its base size and
+// deletes are (mostly) effective.
+void MakeBatch(Random* rng, uint64_t n,
+               std::vector<std::pair<VertexId, VertexId>>* live,
+               std::vector<EdgeUpdate>* out, size_t batch) {
+  out->clear();
+  for (size_t i = 0; i < batch; ++i) {
+    if (live->empty() || rng->OneIn(0.55)) {
+      VertexId u = static_cast<VertexId>(rng->Uniform(n));
+      VertexId v = static_cast<VertexId>(rng->Uniform(n));
+      if (u == v) v = (v + 1) % static_cast<VertexId>(n);
+      out->push_back(EdgeUpdate::Insert(u, v));
+      live->emplace_back(u, v);
+    } else {
+      size_t idx = static_cast<size_t>(rng->Uniform(live->size()));
+      auto [u, v] = (*live)[idx];
+      (*live)[idx] = live->back();
+      live->pop_back();
+      out->push_back(EdgeUpdate::Delete(u, v));
+    }
+  }
+}
+
+void BM_StreamApplyRepair(benchmark::State& state) {
+  StreamEnv& env = Env();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const uint32_t threads = static_cast<uint32_t>(state.range(1));
+
+  std::string manifest, mirror_manifest;
+  BitVector initial, mirror_initial;
+  if (!env.NewShardedCopy(&manifest, &initial) ||
+      !env.NewShardedCopy(&mirror_manifest, &mirror_initial)) {
+    state.SkipWithError("sharded copy setup failed");
+    return;
+  }
+  StreamingMisOptions opts;
+  opts.num_threads = threads;
+  auto mis = std::make_unique<ShardedStreamingMis>();
+  if (!mis->Initialize(manifest, initial, opts).ok()) {
+    state.SkipWithError("Initialize failed");
+    return;
+  }
+  // The sequential reference consuming the identical stream.
+  StreamingMisOptions mirror_opts;
+  mirror_opts.num_threads = 1;
+  auto mirror = std::make_unique<ShardedStreamingMis>();
+  if (!mirror->Initialize(mirror_manifest, mirror_initial, mirror_opts)
+           .ok()) {
+    state.SkipWithError("mirror Initialize failed");
+    return;
+  }
+
+  Random rng(2026);
+  std::vector<std::pair<VertexId, VertexId>> live;
+  std::vector<EdgeUpdate> updates;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MakeBatch(&rng, env.num_vertices, &live, &updates, batch);
+    state.ResumeTiming();
+    Status s = mis->ApplyBatch(updates);
+    if (s.ok()) s = mis->Repair();
+    state.PauseTiming();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      state.ResumeTiming();
+      break;
+    }
+    // Determinism gate: the measured instance must match the 1-thread
+    // mirror after every repair.
+    s = mirror->ApplyBatch(updates);
+    if (s.ok()) s = mirror->Repair();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      state.ResumeTiming();
+      break;
+    }
+    if (!SameSet(mis->set(), mirror->set())) {
+      state.SkipWithError("result differs from the 1-thread repair");
+      state.ResumeTiming();
+      break;
+    }
+    // Reset the pending delta so the next repair sees exactly `batch`
+    // entries again.
+    s = mis->Compact(/*force=*/true);
+    if (s.ok()) s = mirror->Compact(/*force=*/true);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      state.ResumeTiming();
+      break;
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+  state.counters["threads"] = threads;
+  state.counters["delta_entries"] = static_cast<double>(batch);
+  const StreamingMisStats& st = mis->stats();
+  if (st.repair_passes > 0) {
+    state.counters["repair_ms_per_pass"] =
+        1e3 * st.repair_seconds / static_cast<double>(st.repair_passes);
+  }
+  state.counters["set_size"] = static_cast<double>(mis->set_size());
+}
+BENCHMARK(BM_StreamApplyRepair)
+    ->ArgsProduct({{1024, 8192, 65536}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Baseline for the "maintain vs re-solve" argument: one full sharded
+// greedy solve of the same graph, i.e. what every batch would cost
+// without incremental maintenance.
+void BM_FromScratchGreedy(benchmark::State& state) {
+  StreamEnv& env = Env();
+  std::string manifest;
+  BitVector initial;
+  if (!env.NewShardedCopy(&manifest, &initial)) {
+    state.SkipWithError("sharded copy setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    AlgoResult res;
+    ParallelGreedyOptions opts;
+    opts.num_threads = static_cast<uint32_t>(state.range(0));
+    Status s = RunParallelGreedy(manifest, opts, &res);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(res.set_size);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(env.directed_edges));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FromScratchGreedy)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace semis
+
+BENCHMARK_MAIN();

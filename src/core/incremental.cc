@@ -30,11 +30,15 @@ Status IncrementalMis::InsertEdge(VertexId u, VertexId v) {
   }
   const uint64_t key = EdgeKey(u, v);
   updates_++;
-  if (deleted_.erase(key) > 0) {
-    // Re-inserting a deleted base edge: the base file already has it.
-  } else if (!inserted_.insert(key).second) {
-    return Status::OK();  // duplicate insert of a delta edge
-  } else {
+  // Record every insert in the delta, whether or not the base file also
+  // holds the edge -- without scanning the base we cannot know, and a
+  // delta insert overlapping a live base edge is harmless (Repair treats
+  // (base \ deleted) + inserted as the effective edge set). What is NOT
+  // harmless is assuming an insert that cancels a pending delete must be
+  // a base edge: if the delete itself followed a duplicate insert of a
+  // base edge, that assumption silently dropped the edge from the delta.
+  deleted_.erase(key);
+  if (inserted_.insert(key).second) {
     inserted_adj_[u].push_back(v);
     inserted_adj_[v].push_back(u);
   }
@@ -68,9 +72,14 @@ Status IncrementalMis::DeleteEdge(VertexId u, VertexId v) {
         }
       }
     }
-  } else {
-    deleted_.insert(key);
   }
+  // Always record the delete. If the base file also holds this edge --
+  // possible even when the delete cancels a delta insert, because inserts
+  // may duplicate base edges -- the entry masks the base copy during
+  // Repair's merge scan; when the base does not hold it, the entry is
+  // inert. Dropping it only when the delta insert existed double-counted
+  // duplicate inserts and left the base copy alive after its deletion.
+  deleted_.insert(key);
   // A deletion can only open a maximality gap; Repair() closes it.
   return Status::OK();
 }

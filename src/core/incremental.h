@@ -83,6 +83,12 @@ class IncrementalMis {
   BitVector set_;
   uint64_t set_size_ = 0;
   // Delta: inserted edges (and their adjacency) and deleted edge keys.
+  // The effective edge set is (base \ deleted) + inserted. `inserted_` may
+  // overlap the base file (an insert can duplicate a base edge; we never
+  // scan the base to find out) and `deleted_` may hold keys the base never
+  // had (inert there) -- both redundancies are harmless, and tracking them
+  // is what keeps a delete after a duplicate insert from resurrecting the
+  // base copy.
   std::unordered_set<uint64_t> inserted_;
   std::unordered_set<uint64_t> deleted_;
   std::unordered_map<VertexId, std::vector<VertexId>> inserted_adj_;

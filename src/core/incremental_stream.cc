@@ -1,0 +1,597 @@
+#include "core/incremental_stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace semis {
+
+namespace {
+
+// Approximate heap bytes of one hash-set slot holding a u64 key (bucket
+// pointer + node). Accounting, not allocation truth.
+constexpr size_t kHashSlotBytes = 4 * sizeof(uint64_t);
+
+}  // namespace
+
+Status ShardedStreamingMis::Initialize(const std::string& manifest_path,
+                                       const BitVector& initial_set,
+                                       const StreamingMisOptions& options) {
+  SEMIS_RETURN_IF_ERROR(
+      ReadShardedAdjacencyManifest(manifest_path, &manifest_, &stats_.io));
+  if (manifest_.header.num_vertices != initial_set.size()) {
+    return Status::InvalidArgument("set size != graph vertex count");
+  }
+  manifest_path_ = manifest_path;
+  delta_path_ = EdgeDeltaManifestPath(manifest_path);
+  options_ = options;
+  n_ = manifest_.header.num_vertices;
+  set_ = initial_set;
+  set_size_ = set_.Count();
+  inserted_.clear();
+  deleted_.clear();
+  pending_.assign(manifest_.num_shards(), {});
+  next_sequence_ = 0;
+
+  // Route map: records are permuted by the degree sort, so the shard
+  // holding a vertex's record is only discoverable by scanning. One pass
+  // over the shards; 2 bytes per vertex (kMaxAdjacencyShards = 4096).
+  shard_of_.assign(n_, 0);
+  stats_.io.sequential_scans++;
+  for (uint32_t k = 0; k < manifest_.num_shards(); ++k) {
+    AdjacencyShardReader reader(&stats_.io);
+    SEMIS_RETURN_IF_ERROR(reader.Open(manifest_path_, manifest_, k));
+    VertexRecord rec;
+    bool has_next = false;
+    while (true) {
+      SEMIS_RETURN_IF_ERROR(reader.Next(&rec, &has_next));
+      if (!has_next) break;
+      shard_of_[rec.id] = static_cast<uint16_t>(k);
+    }
+    SEMIS_RETURN_IF_ERROR(reader.Close());
+  }
+
+  // Resume from an existing overlay, or start a fresh (empty) one.
+  uint64_t size = 0;
+  const bool delta_exists = GetFileSize(delta_path_, &size).ok();
+  if (delta_exists) {
+    SEMIS_RETURN_IF_ERROR(ReplayExistingDelta());
+  } else {
+    EdgeDeltaManifest dm;
+    dm.num_vertices = n_;
+    dm.next_sequence = 0;
+    dm.shard_entries.assign(manifest_.num_shards(), 0);
+    for (uint32_t k = 0; k < manifest_.num_shards(); ++k) {
+      SEMIS_RETURN_IF_ERROR(
+          CreateEdgeDeltaShardLog(delta_path_, k, n_, &stats_.io));
+    }
+    SEMIS_RETURN_IF_ERROR(
+        WriteEdgeDeltaManifest(delta_path_, dm, &stats_.io));
+  }
+  initialized_ = true;
+  AccountMemory();
+  return Status::OK();
+}
+
+template <typename Fn>
+Status ShardedStreamingMis::ForEachMergedPendingEntry(Fn&& fn) const {
+  // Merge the routed copies back into the global stream: sort by sequence
+  // number and drop (after cross-checking) the second copy of cross-shard
+  // updates.
+  std::vector<EdgeDeltaEntry> merged;
+  for (const auto& shard_entries : pending_) {
+    merged.insert(merged.end(), shard_entries.begin(), shard_entries.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const EdgeDeltaEntry& a, const EdgeDeltaEntry& b) {
+              return a.seq < b.seq;
+            });
+  for (size_t i = 0; i < merged.size(); ++i) {
+    if (i > 0 && merged[i].seq == merged[i - 1].seq) {
+      const EdgeDeltaEntry& a = merged[i - 1];
+      const EdgeDeltaEntry& b = merged[i];
+      if (a.op != b.op || a.u != b.u || a.v != b.v) {
+        return Status::Corruption("routed delta copies with the same "
+                                  "sequence number disagree");
+      }
+      continue;  // second routed copy of a cross-shard update
+    }
+    fn(merged[i]);
+  }
+  return Status::OK();
+}
+
+Status ShardedStreamingMis::RewriteShardLog(uint32_t shard) {
+  SEMIS_RETURN_IF_ERROR(
+      CreateEdgeDeltaShardLog(delta_path_, shard, n_, &stats_.io));
+  if (pending_[shard].empty()) return Status::OK();
+  EdgeDeltaShardWriter writer(&stats_.io);
+  SEMIS_RETURN_IF_ERROR(writer.Open(delta_path_, shard, n_));
+  for (const EdgeDeltaEntry& entry : pending_[shard]) {
+    SEMIS_RETURN_IF_ERROR(writer.Append(entry));
+  }
+  return writer.Close();
+}
+
+Status ShardedStreamingMis::ReplayExistingDelta() {
+  EdgeDeltaManifest dm;
+  SEMIS_RETURN_IF_ERROR(ReadEdgeDeltaManifest(delta_path_, &dm, &stats_.io));
+  if (dm.num_vertices != n_) {
+    return Status::Corruption("edge-delta overlay disagrees with the SADJS "
+                              "manifest vertex count");
+  }
+  if (dm.num_shards() != manifest_.num_shards()) {
+    return Status::Corruption("edge-delta overlay disagrees with the SADJS "
+                              "manifest shard count");
+  }
+  uint64_t pending_total = 0;
+  for (uint32_t k = 0; k < dm.num_shards(); ++k) {
+    // Tolerate (and drop) bytes past the manifest-declared count: they
+    // are a crashed session's unflushed final batch -- the manifest is
+    // authoritative, and "a crash loses at most the unflushed tail" is
+    // exactly this truncation. The log is rewritten clean so the dropped
+    // junk cannot end up in the middle of future appends.
+    bool had_tail = false;
+    SEMIS_RETURN_IF_ERROR(ReadEdgeDeltaShardLog(
+        delta_path_, dm, k, &pending_[k], &stats_.io,
+        /*tolerate_trailing_bytes=*/true, &had_tail));
+    if (pending_[k].size() != dm.shard_entries[k]) {
+      return Status::Corruption("edge-delta shard log entry count "
+                                "disagrees with the delta manifest");
+    }
+    if (had_tail) {
+      SEMIS_RETURN_IF_ERROR(RewriteShardLog(k));
+      stats_.recovered_log_tails++;
+    }
+    pending_total += pending_[k].size();
+  }
+  // Replay in stream order. Replay reproduces the original apply
+  // decisions exactly -- every logged entry changed state when it was
+  // applied, so it changes state again here.
+  SEMIS_RETURN_IF_ERROR(ForEachMergedPendingEntry(
+      [this](const EdgeDeltaEntry& entry) {
+        (void)ApplyToState(EdgeUpdate{entry.op, entry.u, entry.v});
+      }));
+  next_sequence_ = dm.next_sequence;
+  stats_.pending_delta_entries = pending_total;
+  return Status::OK();
+}
+
+Status ShardedStreamingMis::ValidateUpdate(const EdgeUpdate& update) const {
+  if (update.op != EdgeDeltaOp::kInsert && update.op != EdgeDeltaOp::kDelete) {
+    return Status::InvalidArgument("unknown edge update op");
+  }
+  if (update.u == update.v) {
+    return Status::InvalidArgument("self-loop edge update");
+  }
+  if (update.u >= n_ || update.v >= n_) {
+    return Status::InvalidArgument("edge update vertex id out of range");
+  }
+  return Status::OK();
+}
+
+bool ShardedStreamingMis::ApplyToState(const EdgeUpdate& update) {
+  const uint64_t key = EdgeKey(update.u, update.v);
+  if (update.op == EdgeDeltaOp::kInsert) {
+    if (inserted_.count(key) != 0) return false;  // already live in delta
+    inserted_.insert(key);
+    deleted_.erase(key);
+    // Eager independence maintenance: the larger id leaves, as in
+    // IncrementalMis (and the lowest-id-wins rule of the swap executor).
+    if (set_.Test(update.u) && set_.Test(update.v)) {
+      set_.Clear(update.u > update.v ? update.u : update.v);
+      set_size_--;
+      stats_.evictions++;
+    }
+    return true;
+  }
+  if (deleted_.count(key) != 0) return false;  // already deleted in delta
+  deleted_.insert(key);
+  inserted_.erase(key);
+  // A deletion can only open a maximality gap; Repair() closes it.
+  return true;
+}
+
+Status ShardedStreamingMis::ApplyBatch(const std::vector<EdgeUpdate>& updates) {
+  if (!initialized_) {
+    return Status::InvalidArgument("streaming maintainer not initialized");
+  }
+  if (wedged_) {
+    return Status::InvalidArgument(
+        "streaming maintainer wedged by an earlier flush failure; "
+        "re-Initialize to recover from the on-disk overlay");
+  }
+  WallTimer timer;
+  // Validate everything up front: a bad update fails the whole batch
+  // before any state or log is touched, so callers never see a partially
+  // applied batch.
+  for (const EdgeUpdate& update : updates) {
+    SEMIS_RETURN_IF_ERROR(ValidateUpdate(update));
+  }
+  // Apply in order and collect the logged tail per shard.
+  std::vector<std::vector<EdgeDeltaEntry>> fresh(manifest_.num_shards());
+  for (const EdgeUpdate& update : updates) {
+    stats_.updates_applied++;
+    if (update.op == EdgeDeltaOp::kInsert) {
+      stats_.inserts++;
+    } else {
+      stats_.deletes++;
+    }
+    if (!ApplyToState(update)) {
+      stats_.redundant_updates++;
+      continue;
+    }
+    EdgeDeltaEntry entry{next_sequence_++, update.op, update.u, update.v};
+    const uint32_t su = shard_of_[update.u];
+    const uint32_t sv = shard_of_[update.v];
+    fresh[su].push_back(entry);
+    pending_[su].push_back(entry);
+    if (sv != su) {
+      fresh[sv].push_back(entry);
+      pending_[sv].push_back(entry);
+    }
+  }
+  // Flush: append the tails, then republish the (authoritative) counts.
+  // A failure here leaves the in-memory state ahead of the on-disk
+  // overlay; publishing counts for entries that never hit disk would
+  // brick the redo stream, so the maintainer wedges instead: further
+  // mutations are refused and a re-Initialize recovers from disk (the
+  // unmanifested tail is dropped as a torn batch).
+  const auto flush = [&]() -> Status {
+    EdgeDeltaManifest dm;
+    dm.num_vertices = n_;
+    dm.next_sequence = next_sequence_;
+    dm.shard_entries.resize(manifest_.num_shards());
+    for (uint32_t k = 0; k < manifest_.num_shards(); ++k) {
+      if (!fresh[k].empty()) {
+        EdgeDeltaShardWriter writer(&stats_.io);
+        SEMIS_RETURN_IF_ERROR(writer.Open(delta_path_, k, n_));
+        for (const EdgeDeltaEntry& entry : fresh[k]) {
+          SEMIS_RETURN_IF_ERROR(writer.Append(entry));
+        }
+        SEMIS_RETURN_IF_ERROR(writer.Close());
+      }
+      dm.shard_entries[k] = pending_[k].size();
+    }
+    return WriteEdgeDeltaManifest(delta_path_, dm, &stats_.io);
+  };
+  Status flushed = flush();
+  if (!flushed.ok()) {
+    wedged_ = true;
+    return flushed;
+  }
+  uint64_t pending_total = 0;
+  for (const auto& shard_entries : pending_) {
+    pending_total += shard_entries.size();
+  }
+  stats_.pending_delta_entries = pending_total;
+  stats_.apply_seconds += timer.ElapsedSeconds();
+  AccountMemory();
+  if (options_.compact_threshold_entries > 0) {
+    SEMIS_RETURN_IF_ERROR(Compact(/*force=*/false));
+  }
+  return Status::OK();
+}
+
+void ShardedStreamingMis::BuildShardDeltaView(uint32_t shard,
+                                              ShardDeltaView* view) const {
+  // Replay the shard's entries in sequence order. The final view is the
+  // shard-local restriction of the global delta state: every delta edge
+  // incident to a vertex whose record lives in `shard` was routed here.
+  for (const EdgeDeltaEntry& entry : pending_[shard]) {
+    const uint64_t key = EdgeKey(entry.u, entry.v);
+    if (entry.op == EdgeDeltaOp::kInsert) {
+      view->deleted.erase(key);
+      view->inserted_adj[entry.u].push_back(entry.v);
+      view->inserted_adj[entry.v].push_back(entry.u);
+    } else {
+      view->deleted.insert(key);
+      for (VertexId a : {entry.u, entry.v}) {
+        const VertexId b = (a == entry.u) ? entry.v : entry.u;
+        auto it = view->inserted_adj.find(a);
+        if (it == view->inserted_adj.end()) continue;
+        auto& vec = it->second;
+        for (size_t i = 0; i < vec.size(); ++i) {
+          if (vec[i] == b) {
+            vec[i] = vec.back();
+            vec.pop_back();
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename Source>
+Status ShardedStreamingMis::RepairScan(Source* source, uint64_t* added) {
+  // The exact sequential rule of IncrementalMis::Repair, committed
+  // strictly in global manifest order: a non-member with no live set
+  // neighbor (base edges masked by deletes, plus inserted edges) joins,
+  // and later records observe the addition through set_.
+  ShardDeltaView view;
+  uint32_t shard = 0;
+  uint64_t remaining = manifest_.shards.empty()
+                           ? 0
+                           : manifest_.shards[0].num_records;
+  bool view_built = false;
+  VertexRecord rec;
+  bool has_next = false;
+  while (true) {
+    SEMIS_RETURN_IF_ERROR(source->Next(&rec, &has_next));
+    if (!has_next) break;
+    while (remaining == 0 && shard + 1 < manifest_.num_shards()) {
+      shard++;
+      remaining = manifest_.shards[shard].num_records;
+      view_built = false;
+    }
+    if (remaining == 0) {
+      return Status::Corruption("record stream longer than the manifest");
+    }
+    remaining--;
+    if (!view_built) {
+      view = ShardDeltaView();
+      if (!pending_[shard].empty()) BuildShardDeltaView(shard, &view);
+      view_built = true;
+    }
+    const VertexId u = rec.id;
+    if (set_.Test(u)) continue;
+    bool has_set_neighbor = false;
+    for (uint32_t i = 0; i < rec.degree && !has_set_neighbor; ++i) {
+      const VertexId nb = rec.neighbors[i];
+      if (set_.Test(nb) &&
+          (view.deleted.empty() ||
+           view.deleted.find(EdgeKey(u, nb)) == view.deleted.end())) {
+        has_set_neighbor = true;
+      }
+    }
+    if (!has_set_neighbor && !view.inserted_adj.empty()) {
+      auto it = view.inserted_adj.find(u);
+      if (it != view.inserted_adj.end()) {
+        for (VertexId nb : it->second) {
+          if (set_.Test(nb)) {
+            has_set_neighbor = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!has_set_neighbor) {
+      set_.Set(u);
+      set_size_++;
+      (*added)++;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedStreamingMis::Repair() {
+  if (!initialized_) {
+    return Status::InvalidArgument("streaming maintainer not initialized");
+  }
+  WallTimer timer;
+  uint64_t added = 0;
+  uint32_t num_threads = options_.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  if (num_threads <= 1) {
+    // The sequential reference path: a plain forward scan over the shards.
+    ShardedAdjacencyScanner scanner(&stats_.io);
+    SEMIS_RETURN_IF_ERROR(scanner.Open(manifest_path_));
+    SEMIS_RETURN_IF_ERROR(RepairScan(&scanner, &added));
+  } else {
+    // Decoder threads prefetch shards while this thread commits in
+    // manifest order -- the RunParallelGreedy pipeline. The commit
+    // sequence is identical to the sequential path by construction.
+    ThreadPool pool(num_threads);
+    ManifestOrderedShardCursor cursor(&stats_.io);
+    SEMIS_RETURN_IF_ERROR(cursor.Open(manifest_path_, &pool,
+                                      options_.max_buffered_shards));
+    Status scan = RepairScan(&cursor, &added);
+    Status close = cursor.Close();
+    SEMIS_RETURN_IF_ERROR(scan);
+    SEMIS_RETURN_IF_ERROR(close);
+    // The pipeline's decoded-shard buffer rides on top of the maintainer's
+    // own state.
+    stats_.peak_memory_bytes =
+        std::max(stats_.peak_memory_bytes,
+                 CurrentMemoryBytes() + cursor.peak_buffered_bytes());
+  }
+  stats_.repair_passes++;
+  stats_.repair_added += added;
+  stats_.repair_seconds += timer.ElapsedSeconds();
+  AccountMemory();
+  return Status::OK();
+}
+
+Status ShardedStreamingMis::CompactShard(uint32_t shard, ShardInfo* new_info,
+                                         uint32_t* max_degree_seen,
+                                         bool* records_changed) {
+  ShardDeltaView view;
+  BuildShardDeltaView(shard, &view);
+
+  AdjacencyShardReader reader(&stats_.io);
+  SEMIS_RETURN_IF_ERROR(reader.Open(manifest_path_, manifest_, shard));
+  const std::string shard_path = ShardFilePath(manifest_path_, shard);
+  const std::string tmp_path = shard_path + ".compact";
+  SequentialFileWriter writer(&stats_.io);
+  SEMIS_RETURN_IF_ERROR(writer.Open(tmp_path));
+  SEMIS_RETURN_IF_ERROR(WriteAdjacencyShardHeader(&writer, shard, n_));
+
+  std::vector<VertexId> neighbors;
+  std::unordered_set<VertexId> present;
+  VertexRecord rec;
+  bool has_next = false;
+  while (true) {
+    SEMIS_RETURN_IF_ERROR(reader.Next(&rec, &has_next));
+    if (!has_next) break;
+    const VertexId u = rec.id;
+    neighbors.clear();
+    // Base neighbors surviving the deletes, in base order.
+    for (uint32_t i = 0; i < rec.degree; ++i) {
+      const VertexId nb = rec.neighbors[i];
+      if (!view.deleted.empty() &&
+          view.deleted.find(EdgeKey(u, nb)) != view.deleted.end()) {
+        continue;
+      }
+      neighbors.push_back(nb);
+    }
+    bool changed = neighbors.size() != rec.degree;
+    // Inserted neighbors appended in ascending id order, deduplicated
+    // against the surviving base list -- an insert may duplicate a base
+    // edge, and folding it twice would corrupt the record.
+    auto it = view.inserted_adj.find(u);
+    if (it != view.inserted_adj.end() && !it->second.empty()) {
+      present.clear();
+      present.insert(neighbors.begin(), neighbors.end());
+      std::vector<VertexId> extra = it->second;
+      std::sort(extra.begin(), extra.end());
+      for (VertexId nb : extra) {
+        if (present.insert(nb).second) {
+          neighbors.push_back(nb);
+          changed = true;
+        }
+      }
+    }
+    const uint32_t degree = static_cast<uint32_t>(neighbors.size());
+    SEMIS_RETURN_IF_ERROR(writer.AppendU32(u));
+    SEMIS_RETURN_IF_ERROR(writer.AppendU32(degree));
+    if (degree > 0) {
+      SEMIS_RETURN_IF_ERROR(
+          writer.Append(neighbors.data(), sizeof(VertexId) * degree));
+    }
+    new_info->num_records++;
+    new_info->num_directed_edges += degree;
+    *max_degree_seen = std::max(*max_degree_seen, degree);
+    if (changed) *records_changed = true;
+  }
+  SEMIS_RETURN_IF_ERROR(reader.Close());
+  SEMIS_RETURN_IF_ERROR(writer.Close());
+  if (std::rename(tmp_path.c_str(), shard_path.c_str()) != 0) {
+    return Status::IOError("cannot move compacted shard into place at '" +
+                           shard_path + "'");
+  }
+  return Status::OK();
+}
+
+Status ShardedStreamingMis::RebuildDeltaState() {
+  // Compaction retired some entries; the global delta state is the replay
+  // of what is still pending, merged across shards by sequence number.
+  inserted_.clear();
+  deleted_.clear();
+  return ForEachMergedPendingEntry([this](const EdgeDeltaEntry& entry) {
+    const uint64_t key = EdgeKey(entry.u, entry.v);
+    if (entry.op == EdgeDeltaOp::kInsert) {
+      inserted_.insert(key);
+      deleted_.erase(key);
+    } else {
+      deleted_.insert(key);
+      inserted_.erase(key);
+    }
+  });
+}
+
+Status ShardedStreamingMis::Compact(bool force) {
+  if (!initialized_) {
+    return Status::InvalidArgument("streaming maintainer not initialized");
+  }
+  if (wedged_) {
+    return Status::InvalidArgument(
+        "streaming maintainer wedged by an earlier flush failure; "
+        "re-Initialize to recover from the on-disk overlay");
+  }
+  WallTimer timer;
+  std::vector<uint32_t> saturated;
+  for (uint32_t k = 0; k < manifest_.num_shards(); ++k) {
+    if (pending_[k].empty()) continue;
+    if (force || (options_.compact_threshold_entries > 0 &&
+                  pending_[k].size() >= options_.compact_threshold_entries)) {
+      saturated.push_back(k);
+    }
+  }
+  if (saturated.empty()) return Status::OK();
+
+  // From the first shard rename on, a failure leaves disk and memory
+  // disagreeing mid-transaction; wedge on any error past that point.
+  const auto rewrite = [&]() -> Status {
+    bool records_changed = false;
+    uint32_t max_degree_seen = 0;
+    for (uint32_t k : saturated) {
+      ShardInfo new_info;
+      SEMIS_RETURN_IF_ERROR(
+          CompactShard(k, &new_info, &max_degree_seen, &records_changed));
+      manifest_.shards[k] = new_info;
+    }
+    uint64_t total_edges = 0;
+    for (const ShardInfo& s : manifest_.shards) {
+      total_edges += s.num_directed_edges;
+    }
+    manifest_.header.num_directed_edges = total_edges;
+    // max_degree stays an upper bound: compaction only sees the rewritten
+    // shards, so it can raise the bound but never safely lower it.
+    manifest_.header.max_degree =
+        std::max(manifest_.header.max_degree, max_degree_seen);
+    if (records_changed) {
+      // Folded inserts/deletes change degrees, so the global (degree, id)
+      // order can no longer be guaranteed; re-sort before relying on it.
+      manifest_.header.flags &= ~kAdjFlagDegreeSorted;
+    }
+    SEMIS_RETURN_IF_ERROR(
+        WriteShardedAdjacencyManifest(manifest_path_, manifest_, &stats_.io));
+
+    // Retire the compacted logs, then republish the delta manifest.
+    EdgeDeltaManifest dm;
+    dm.num_vertices = n_;
+    dm.next_sequence = next_sequence_;
+    dm.shard_entries.resize(manifest_.num_shards());
+    for (uint32_t k : saturated) {
+      pending_[k].clear();
+      pending_[k].shrink_to_fit();
+      SEMIS_RETURN_IF_ERROR(
+          CreateEdgeDeltaShardLog(delta_path_, k, n_, &stats_.io));
+    }
+    for (uint32_t k = 0; k < manifest_.num_shards(); ++k) {
+      dm.shard_entries[k] = pending_[k].size();
+    }
+    SEMIS_RETURN_IF_ERROR(WriteEdgeDeltaManifest(delta_path_, dm, &stats_.io));
+    return RebuildDeltaState();
+  };
+  Status rewritten = rewrite();
+  if (!rewritten.ok()) {
+    wedged_ = true;
+    return rewritten;
+  }
+  uint64_t pending_total = 0;
+  for (const auto& shard_entries : pending_) {
+    pending_total += shard_entries.size();
+  }
+
+  stats_.compactions++;
+  stats_.shards_rewritten += saturated.size();
+  stats_.pending_delta_entries = pending_total;
+  stats_.compact_seconds += timer.ElapsedSeconds();
+  AccountMemory();
+  return Status::OK();
+}
+
+size_t ShardedStreamingMis::CurrentMemoryBytes() const {
+  size_t bytes = shard_of_.capacity() * sizeof(uint16_t) +
+                 set_.MemoryBytes() +
+                 (inserted_.size() + deleted_.size()) * kHashSlotBytes;
+  for (const auto& shard_entries : pending_) {
+    bytes += shard_entries.capacity() * sizeof(EdgeDeltaEntry);
+  }
+  return bytes;
+}
+
+void ShardedStreamingMis::AccountMemory() {
+  stats_.peak_memory_bytes =
+      std::max(stats_.peak_memory_bytes, CurrentMemoryBytes());
+}
+
+}  // namespace semis

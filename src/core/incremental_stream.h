@@ -1,0 +1,242 @@
+// Copyright (c) the semis authors.
+// Shard-native streaming maintenance of an independent set under edge
+// updates: the incremental scenario of core/incremental.h lifted onto the
+// sharded substrate (SADJS shards + SDELTA overlay logs), so dynamic
+// workloads get the same deterministic parallelism as the solve pipeline.
+//
+// Model: the base graph lives in a sharded adjacency file; updates arrive
+// as a stream of edge insertions/deletions. Each update is
+//   * applied eagerly to the in-memory membership (an insertion between
+//     two set members evicts the larger id, O(1), exactly like
+//     IncrementalMis), and
+//   * routed to the SDELTA log of every shard holding an endpoint's base
+//     record, so each shard log carries the full delta incident to its
+//     records and the logs double as a durable redo stream.
+//
+// Repair() restores maximality with ONE pass over the base shards merged
+// with the per-shard delta. The pass commits the exact sequential rule of
+// IncrementalMis::Repair strictly in global manifest order while worker
+// threads prefetch and decode shards ahead of it through
+// ManifestOrderedShardCursor -- the same pipeline (and the same
+// determinism contract) as RunParallelGreedy:
+//
+//   the repaired set is byte-identical for EVERY shard/thread count, and
+//   equal to sequential IncrementalMis::Repair on the equivalent
+//   monolithic file; num_threads <= 1 is the plain sequential scan.
+//
+// Compact() folds saturated shards' deltas into the base: each saturated
+// shard is rewritten in place (write-new + rename) with deletions dropped
+// and insertions appended to their records, and the SADJS manifest is
+// republished with the new totals. A cross-shard edge compacts
+// independently on each side -- the routed log copies make that safe.
+// Compaction never changes the effective graph, only where it is stored.
+#ifndef SEMIS_CORE_INCREMENTAL_STREAM_H_
+#define SEMIS_CORE_INCREMENTAL_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/sharded_adjacency_file.h"
+#include "io/edge_delta_file.h"
+#include "io/io_stats.h"
+#include "util/bit_vector.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// One update of the edge stream.
+struct EdgeUpdate {
+  EdgeDeltaOp op = EdgeDeltaOp::kInsert;
+  VertexId u = 0;
+  VertexId v = 0;
+
+  static EdgeUpdate Insert(VertexId u, VertexId v) {
+    return {EdgeDeltaOp::kInsert, u, v};
+  }
+  static EdgeUpdate Delete(VertexId u, VertexId v) {
+    return {EdgeDeltaOp::kDelete, u, v};
+  }
+};
+
+/// Configuration of the streaming maintainer.
+struct StreamingMisOptions {
+  /// Worker threads decoding shards ahead of the Repair commit scan
+  /// (0 = hardware concurrency). The repaired set is independent of this
+  /// value by construction; <= 1 runs the plain sequential scan.
+  uint32_t num_threads = 1;
+  /// Cap on decoded shards buffered ahead of the Repair commit scan
+  /// (0 = num_threads + 1), as in ParallelGreedyOptions.
+  uint32_t max_buffered_shards = 0;
+  /// A shard whose delta log reaches this many live entries is saturated:
+  /// the next Compact() (or the automatic one at the end of ApplyBatch)
+  /// rewrites it and truncates its log. 0 disables automatic compaction;
+  /// Compact(/*force=*/true) still compacts everything.
+  uint64_t compact_threshold_entries = 0;
+};
+
+/// Statistics of a streaming session (cumulative since Initialize).
+struct StreamingMisStats {
+  uint64_t updates_applied = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  /// Updates that were state no-ops (duplicate insert / duplicate delete)
+  /// and were therefore not logged.
+  uint64_t redundant_updates = 0;
+  /// Vertices evicted by insertions (eager independence maintenance).
+  uint64_t evictions = 0;
+  /// Repair() passes executed, and vertices they re-added.
+  uint64_t repair_passes = 0;
+  uint64_t repair_added = 0;
+  /// Compact() passes that rewrote at least one shard, and shards
+  /// rewritten in total.
+  uint64_t compactions = 0;
+  uint64_t shards_rewritten = 0;
+  /// Crash-torn log tails dropped (and rewritten clean) by Initialize:
+  /// entries a previous session appended but never covered with a delta
+  /// manifest republish, i.e. its unflushed final batch.
+  uint64_t recovered_log_tails = 0;
+  /// Live (uncompacted) delta entries currently held, summed over shards.
+  uint64_t pending_delta_entries = 0;
+  /// I/O of the whole session (routing, repair scans, compaction).
+  IoStats io;
+  /// Peak logical bytes of the maintainer's in-memory structures,
+  /// including the repair pipeline's decoded-shard buffer high-water mark.
+  size_t peak_memory_bytes = 0;
+  /// Wall-clock seconds by stage.
+  double apply_seconds = 0.0;
+  double repair_seconds = 0.0;
+  double compact_seconds = 0.0;
+};
+
+/// Maintains an independent set over "sharded base file + SDELTA overlay".
+class ShardedStreamingMis {
+ public:
+  ShardedStreamingMis() = default;
+
+  /// Binds the maintainer to the SADJS file rooted at `manifest_path` and
+  /// a starting independent set over its BASE graph. Builds the
+  /// vertex-to-shard routing map with one pass over the shards. If an
+  /// SDELTA overlay already exists next to the manifest, its logs are
+  /// replayed in sequence order on top of `initial_set`, reproducing the
+  /// previous session's delta state and eager evictions exactly. Repair
+  /// additions are NOT logged, so if the previous session ran Repair()
+  /// mid-stream the replayed membership may lag it -- it is still
+  /// independent w.r.t. the updated graph, and the next Repair() restores
+  /// maximality.
+  Status Initialize(const std::string& manifest_path,
+                    const BitVector& initial_set,
+                    const StreamingMisOptions& options);
+
+  /// Applies a batch of updates in order: eager eviction, delta-state
+  /// bookkeeping, and routing to the shard logs (flushed, with the delta
+  /// manifest republished, before returning). Self-loops and out-of-range
+  /// ids fail the whole batch up front with InvalidArgument -- no partial
+  /// application. A duplicate insert (edge already live in the delta) or
+  /// duplicate delete is a state no-op and is not logged. When
+  /// `compact_threshold_entries` is set, saturated shards are compacted
+  /// after the batch.
+  Status ApplyBatch(const std::vector<EdgeUpdate>& updates);
+
+  /// Restores maximality with one merged pass over base shards + delta
+  /// (see the file comment for the determinism contract). Safe to call at
+  /// any time.
+  Status Repair();
+
+  /// Rewrites every saturated shard (every shard with a non-empty log
+  /// when `force` is set) with its delta folded in, republishes the SADJS
+  /// manifest, truncates the compacted logs and republishes the delta
+  /// manifest. Clears the degree-sorted flag when a rewrite changed any
+  /// record, since the global (degree, id) order can no longer be
+  /// guaranteed.
+  Status Compact(bool force = false);
+
+  /// Current membership (independent w.r.t. the updated graph after every
+  /// ApplyBatch; additionally maximal right after Repair()).
+  const BitVector& set() const { return set_; }
+
+  /// Current |set|.
+  uint64_t set_size() const { return set_size_; }
+
+  /// Session statistics so far.
+  const StreamingMisStats& stats() const { return stats_; }
+
+  /// The SADJS manifest as of the last Initialize/Compact.
+  const ShardedAdjacencyManifest& manifest() const { return manifest_; }
+
+ private:
+  static uint64_t EdgeKey(VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+
+  Status ValidateUpdate(const EdgeUpdate& update) const;
+  // Applies one validated update to the in-memory state; returns true if
+  // it changed the delta state (and must be logged).
+  bool ApplyToState(const EdgeUpdate& update);
+  // Replays existing delta logs on top of the initial set (restart path).
+  Status ReplayExistingDelta();
+  // Rewrites shard `shard`'s log from pending_[shard] (header + entries).
+  Status RewriteShardLog(uint32_t shard);
+  // Merges pending_ across shards by sequence number, dropping the second
+  // routed copy of cross-shard updates (and validating the copies agree),
+  // and calls `fn` once per update in stream order.
+  template <typename Fn>
+  Status ForEachMergedPendingEntry(Fn&& fn) const;
+  // Shard-local merged view of the pending delta, rebuilt per shard
+  // during Repair/Compact.
+  struct ShardDeltaView {
+    std::unordered_set<uint64_t> deleted;
+    // Flat inserted adjacency for the shard's records, built by replaying
+    // the shard's entries in sequence order.
+    std::unordered_map<VertexId, std::vector<VertexId>> inserted_adj;
+  };
+  void BuildShardDeltaView(uint32_t shard, ShardDeltaView* view) const;
+  // The shared Repair commit rule, applied to records strictly in
+  // manifest order. `Source` exposes Next(&rec, &has_next).
+  template <typename Source>
+  Status RepairScan(Source* source, uint64_t* added);
+  Status CompactShard(uint32_t shard, ShardInfo* new_info,
+                      uint32_t* max_degree_seen, bool* records_changed);
+  // Rebuilds inserted_/deleted_ from the pending per-shard entries (after
+  // compaction retired some of them).
+  Status RebuildDeltaState();
+  size_t CurrentMemoryBytes() const;
+  void AccountMemory();
+
+  std::string manifest_path_;
+  std::string delta_path_;
+  ShardedAdjacencyManifest manifest_;
+  StreamingMisOptions options_;
+  uint64_t n_ = 0;
+  // Shard holding each vertex's base record (records are permuted by the
+  // degree sort, so this is not derivable from the id). kMaxAdjacencyShards
+  // fits comfortably in 16 bits.
+  std::vector<uint16_t> shard_of_;
+  BitVector set_;
+  uint64_t set_size_ = 0;
+  // Global delta state (the CURRENT effective delta, deduplicated):
+  // effective edges = (base \ deleted_) + inserted_. Same conventions as
+  // IncrementalMis: inserted_ may overlap base edges, deleted_ may hold
+  // keys the base never had.
+  std::unordered_set<uint64_t> inserted_;
+  std::unordered_set<uint64_t> deleted_;
+  // Pending (uncompacted) entries per shard, in sequence order -- the
+  // in-memory mirror of the on-disk logs.
+  std::vector<std::vector<EdgeDeltaEntry>> pending_;
+  uint64_t next_sequence_ = 0;
+  StreamingMisStats stats_;
+  bool initialized_ = false;
+  // Set when a flush/compaction failed after mutating state, leaving the
+  // in-memory maintainer ahead of (or torn against) the on-disk overlay.
+  // Further mutations are refused; re-Initialize to recover from disk.
+  bool wedged_ = false;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_CORE_INCREMENTAL_STREAM_H_

@@ -132,6 +132,60 @@ Status Solver::SolveFile(const std::string& adjacency_path,
   return Status::OK();
 }
 
+Status Solver::SolveShardedFile(const std::string& manifest_path,
+                                SolveResult* result) {
+  WallTimer timer;
+  SolveResult res;
+  ShardedAdjacencyManifest manifest;
+  SEMIS_RETURN_IF_ERROR(
+      ReadShardedAdjacencyManifest(manifest_path, &manifest, &res.io));
+  if (options_.degree_sort && !manifest.header.IsDegreeSorted()) {
+    return Status::InvalidArgument(
+        "sharded input is not degree-sorted and cannot be sorted in place; "
+        "sort before sharding or set degree_sort = false: " + manifest_path);
+  }
+
+  ParallelGreedyOptions greedy_opts;
+  greedy_opts.greedy.require_degree_sorted = options_.degree_sort;
+  greedy_opts.num_threads = options_.num_threads;
+  std::vector<VState> greedy_states;
+  SEMIS_RETURN_IF_ERROR(RunParallelGreedyWithStates(
+      manifest_path, greedy_opts, &res.greedy, &greedy_states));
+  const AlgoResult* final_stage = &res.greedy;
+  if (options_.swap != SwapMode::kNone) {
+    ParallelSwapOptions swap_opts;
+    swap_opts.max_rounds = options_.max_swap_rounds;
+    swap_opts.num_threads = options_.num_threads;
+    swap_opts.enable_two_k = options_.swap == SwapMode::kTwoK;
+    SEMIS_RETURN_IF_ERROR(
+        RunParallelSwap(manifest_path, greedy_states, swap_opts, &res.swap));
+    final_stage = &res.swap;
+  }
+
+  res.set = final_stage->in_set;
+  res.set_size = final_stage->set_size;
+  res.io.MergeFrom(res.greedy.io);
+  res.io.MergeFrom(res.swap.io);
+  res.peak_memory_bytes =
+      std::max(res.greedy.peak_memory_bytes, res.swap.peak_memory_bytes);
+
+  if (options_.verify) {
+    VerifyResult vr;
+    SEMIS_RETURN_IF_ERROR(
+        VerifyIndependentSetShardedFile(manifest_path, res.set, &vr));
+    if (!vr.independent) {
+      return Status::Corruption("solver produced a non-independent set");
+    }
+    if (!vr.maximal) {
+      return Status::Corruption("solver produced a non-maximal set");
+    }
+  }
+
+  res.seconds = timer.ElapsedSeconds();
+  *result = std::move(res);
+  return Status::OK();
+}
+
 Status Solver::SolveGraph(const Graph& graph, SolveResult* result) {
   ScratchDir scratch;
   SEMIS_RETURN_IF_ERROR(ScratchDir::Create("semis-solveg", &scratch));

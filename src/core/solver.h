@@ -93,6 +93,20 @@ class Solver {
   /// adjacency file and solves it semi-externally.
   Status SolveGraph(const Graph& graph, SolveResult* result);
 
+  /// Solves a graph that is ALREADY sharded (SADJS manifest; see
+  /// graph/sharded_adjacency_file.h) without re-sorting or re-splitting:
+  /// greedy on the shard-pipelined executor, then the swap stage on the
+  /// parallel round executor, both with `options.num_threads`
+  /// (`options.num_shards` is ignored -- the file fixes the shard count).
+  /// Used by the streaming-update pipeline to solve from scratch after a
+  /// compaction, and byte-identical for every thread count like the
+  /// sharded SolveFile path. Because shards cannot be degree-sorted in
+  /// place, `options.degree_sort` demands the manifest's degree-sorted
+  /// flag instead of sorting; pass degree_sort = false to consume the
+  /// records as-is (paper BASELINE order semantics).
+  Status SolveShardedFile(const std::string& manifest_path,
+                          SolveResult* result);
+
   /// The options this solver was created with.
   const SolverOptions& options() const { return options_; }
 

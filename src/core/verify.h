@@ -31,6 +31,14 @@ Status VerifyIndependentSetFile(const std::string& adjacency_path,
                                 const BitVector& set, VerifyResult* result,
                                 IoStats* stats = nullptr);
 
+/// As above for a sharded adjacency file (SADJS manifest): one pass over
+/// the shards in manifest order. Lets sharded pipelines (and the
+/// streaming update CLI) verify without materializing a monolithic copy.
+Status VerifyIndependentSetShardedFile(const std::string& manifest_path,
+                                       const BitVector& set,
+                                       VerifyResult* result,
+                                       IoStats* stats = nullptr);
+
 /// In-memory variant for tests.
 VerifyResult VerifyIndependentSet(const Graph& graph, const BitVector& set);
 

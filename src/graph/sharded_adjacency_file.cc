@@ -1,10 +1,12 @@
 #include "graph/sharded_adjacency_file.h"
 
+#include <cstdio>
+
 namespace semis {
 
 namespace {
-constexpr uint32_t kManifestMagic = 0x4D444153u;  // 'SADM' little-endian
-constexpr uint32_t kShardMagic = 0x53444153u;     // 'SADS' little-endian
+constexpr uint32_t kManifestMagic = kShardManifestMagic;
+constexpr uint32_t kShardMagic = 0x53444153u;  // 'SADS' little-endian
 constexpr uint32_t kVersion = 1;
 
 // Record cost in u32 words: id + degree + neighbors. Shards are balanced
@@ -43,6 +45,13 @@ Status ReadShardedAdjacencyManifest(const std::string& path,
   if (num_shards == 0) {
     return Status::Corruption("manifest '" + path + "' declares zero shards");
   }
+  // Bound BEFORE the resize so a corrupted count cannot make the reader
+  // allocate gigabytes; the writer never produces more than
+  // kMaxAdjacencyShards shards.
+  if (num_shards > kMaxAdjacencyShards) {
+    return Status::Corruption("manifest '" + path +
+                              "' declares an impossible shard count");
+  }
   m.shards.resize(num_shards);
   uint64_t total_records = 0, total_edges = 0;
   for (ShardInfo& s : m.shards) {
@@ -62,6 +71,62 @@ Status ReadShardedAdjacencyManifest(const std::string& path,
   }
   *out = std::move(m);
   return Status::OK();
+}
+
+Status WriteShardedAdjacencyManifest(const std::string& path,
+                                     const ShardedAdjacencyManifest& manifest,
+                                     IoStats* stats) {
+  if (manifest.num_shards() == 0) {
+    return Status::InvalidArgument("manifest needs >= 1 shard");
+  }
+  uint64_t total_records = 0, total_edges = 0;
+  for (const ShardInfo& s : manifest.shards) {
+    total_records += s.num_records;
+    total_edges += s.num_directed_edges;
+  }
+  if (total_records != manifest.header.num_vertices ||
+      total_edges != manifest.header.num_directed_edges) {
+    return Status::InvalidArgument(
+        "shard totals disagree with the global header");
+  }
+  // Write-then-rename: compaction overwrites a live manifest, and a crash
+  // mid-write must not leave a torn one behind.
+  const std::string tmp = path + ".tmp";
+  SequentialFileWriter writer(stats);
+  SEMIS_RETURN_IF_ERROR(writer.Open(tmp));
+  SEMIS_RETURN_IF_ERROR(writer.AppendU32(kManifestMagic));
+  SEMIS_RETURN_IF_ERROR(writer.AppendU32(kVersion));
+  SEMIS_RETURN_IF_ERROR(writer.AppendU64(manifest.header.num_vertices));
+  SEMIS_RETURN_IF_ERROR(writer.AppendU64(manifest.header.num_directed_edges));
+  SEMIS_RETURN_IF_ERROR(writer.AppendU32(manifest.header.flags));
+  SEMIS_RETURN_IF_ERROR(writer.AppendU32(manifest.header.max_degree));
+  SEMIS_RETURN_IF_ERROR(writer.AppendU32(manifest.num_shards()));
+  SEMIS_RETURN_IF_ERROR(writer.AppendU32(0));  // reserved
+  for (const ShardInfo& s : manifest.shards) {
+    SEMIS_RETURN_IF_ERROR(writer.AppendU64(s.num_records));
+    SEMIS_RETURN_IF_ERROR(writer.AppendU64(s.num_directed_edges));
+  }
+  SEMIS_RETURN_IF_ERROR(writer.Close());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot move shard manifest into place at '" +
+                           path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteAdjacencyShardHeader(SequentialFileWriter* writer, uint32_t index,
+                                 uint64_t num_vertices) {
+  SEMIS_RETURN_IF_ERROR(writer->AppendU32(kShardMagic));
+  SEMIS_RETURN_IF_ERROR(writer->AppendU32(kVersion));
+  SEMIS_RETURN_IF_ERROR(writer->AppendU32(index));
+  SEMIS_RETURN_IF_ERROR(writer->AppendU32(0));  // reserved
+  // Shard totals are not known until the shard is closed; the file stays
+  // append-only, so they are written as zero here and recorded
+  // authoritatively in the manifest. Readers take totals from the
+  // manifest and treat the in-file pair as a hint.
+  SEMIS_RETURN_IF_ERROR(writer->AppendU64(0));
+  SEMIS_RETURN_IF_ERROR(writer->AppendU64(0));
+  return writer->AppendU64(num_vertices);
 }
 
 ShardedAdjacencyFileWriter::ShardedAdjacencyFileWriter(IoStats* stats)
@@ -101,17 +166,7 @@ Status ShardedAdjacencyFileWriter::StartShard(uint32_t index) {
   shard_words_ = 0;
   current_info_ = ShardInfo();
   SEMIS_RETURN_IF_ERROR(writer_.Open(ShardFilePath(manifest_path_, index)));
-  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(kShardMagic));
-  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(kVersion));
-  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(index));
-  SEMIS_RETURN_IF_ERROR(writer_.AppendU32(0));  // reserved
-  // Shard totals are not known until the shard is closed; the file stays
-  // append-only, so they are written as zero here and recorded
-  // authoritatively in the manifest. Readers take totals from the
-  // manifest and treat the in-file pair as a hint.
-  SEMIS_RETURN_IF_ERROR(writer_.AppendU64(0));
-  SEMIS_RETURN_IF_ERROR(writer_.AppendU64(0));
-  return writer_.AppendU64(declared_vertices_);
+  return WriteAdjacencyShardHeader(&writer_, index, declared_vertices_);
 }
 
 Status ShardedAdjacencyFileWriter::CloseShard() {
@@ -174,21 +229,13 @@ Status ShardedAdjacencyFileWriter::Finish() {
         std::to_string(declared_directed_edges_) + ", appended " +
         std::to_string(appended_edges_));
   }
-  SequentialFileWriter manifest(stats_);
-  SEMIS_RETURN_IF_ERROR(manifest.Open(manifest_path_));
-  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(kManifestMagic));
-  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(kVersion));
-  SEMIS_RETURN_IF_ERROR(manifest.AppendU64(declared_vertices_));
-  SEMIS_RETURN_IF_ERROR(manifest.AppendU64(declared_directed_edges_));
-  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(declared_flags_));
-  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(declared_max_degree_));
-  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(num_shards_));
-  SEMIS_RETURN_IF_ERROR(manifest.AppendU32(0));  // reserved
-  for (const ShardInfo& s : finished_shards_) {
-    SEMIS_RETURN_IF_ERROR(manifest.AppendU64(s.num_records));
-    SEMIS_RETURN_IF_ERROR(manifest.AppendU64(s.num_directed_edges));
-  }
-  return manifest.Close();
+  ShardedAdjacencyManifest manifest;
+  manifest.header.num_vertices = declared_vertices_;
+  manifest.header.num_directed_edges = declared_directed_edges_;
+  manifest.header.flags = declared_flags_;
+  manifest.header.max_degree = declared_max_degree_;
+  manifest.shards = finished_shards_;
+  return WriteShardedAdjacencyManifest(manifest_path_, manifest, stats_);
 }
 
 AdjacencyShardReader::AdjacencyShardReader(IoStats* stats)

@@ -48,6 +48,11 @@ namespace semis {
 /// materialize millions of files.
 inline constexpr uint32_t kMaxAdjacencyShards = 4096;
 
+/// Magic of the SADM manifest file, exposed so callers accepting "either
+/// a monolithic file or a manifest" can probe which one they were given
+/// instead of guessing from a parse failure.
+inline constexpr uint32_t kShardManifestMagic = 0x4D444153u;  // 'SADM'
+
 /// Per-shard totals recorded in the manifest.
 struct ShardInfo {
   uint64_t num_records = 0;
@@ -71,6 +76,21 @@ std::string ShardFilePath(const std::string& manifest_path, uint32_t index);
 Status ReadShardedAdjacencyManifest(const std::string& path,
                                     ShardedAdjacencyManifest* out,
                                     IoStats* stats = nullptr);
+
+/// Writes (or atomically overwrites) the manifest at `path`. Used by the
+/// sharded writer's Finish and by delta compaction, which rewrites shards
+/// in place and must republish their totals. The per-shard totals must
+/// sum to the global header.
+Status WriteShardedAdjacencyManifest(const std::string& path,
+                                     const ShardedAdjacencyManifest& manifest,
+                                     IoStats* stats = nullptr);
+
+/// Appends the standard shard-file header (magic, version, index, zero
+/// totals hint, global vertex count) to a freshly opened writer. Shared by
+/// the sharded writer and the delta compactor so a rewritten shard is
+/// byte-compatible with a freshly written one.
+Status WriteAdjacencyShardHeader(SequentialFileWriter* writer, uint32_t index,
+                                 uint64_t num_vertices);
 
 /// Streaming writer: records are appended in global order and rolled into
 /// the next shard when the current shard reaches its payload budget. All

@@ -33,6 +33,23 @@ Status SequentialFileWriter::Open(const std::string& path) {
   return Status::OK();
 }
 
+Status SequentialFileWriter::OpenAppend(const std::string& path) {
+  if (file_ != nullptr) return Status::InvalidArgument("writer already open");
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::NotFound(ErrnoMessage("cannot append to", path));
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open for append", path));
+  }
+  path_ = path;
+  buffered_ = 0;
+  bytes_written_ = 0;
+  if (stats_ != nullptr) stats_->files_opened++;
+  return Status::OK();
+}
+
 Status SequentialFileWriter::Append(const void* data, size_t n) {
   if (file_ == nullptr) return Status::InvalidArgument("writer not open");
   const char* src = static_cast<const char*>(data);

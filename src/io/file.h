@@ -30,6 +30,13 @@ class SequentialFileWriter {
   /// Creates/truncates `path` for writing.
   Status Open(const std::string& path);
 
+  /// Opens `path` for appending without truncation (the edge-delta logs
+  /// grow across update batches). The file must already exist -- appending
+  /// to a missing file almost always means a lost header, so it is
+  /// reported instead of silently creating a headerless file.
+  /// BytesWritten() counts only the bytes appended by this writer.
+  Status OpenAppend(const std::string& path);
+
   /// Appends `n` raw bytes.
   Status Append(const void* data, size_t n);
 

@@ -64,6 +64,50 @@ for shards in 1 3; do
   done
 done
 
+# --- streaming edge updates (shard -> stream -> compact -> solve) ----------
+cat > "$work/updates.txt" <<'EOF'
+# mixed insert/delete stream; ids are valid for the 2000-vertex graph
++ 0 1
++ 12 1500
+- 0 1
++ 7 8
++ 3 1999
+- 3 4
++ 100 200
+- 12 1500
+EOF
+# One sharded copy per invocation: update mutates the overlay in place.
+for t in 1 2; do
+  "$CLI" shard "$work/g.sadj" "$work/gu$t.sadjs" --shards 4 >/dev/null
+  "$CLI" update "$work/gu$t.sadjs" --stream "$work/updates.txt" \
+      --threads "$t" --batch 3 --out "$work/upd$t.txt" >/dev/null
+  [ -s "$work/upd$t.txt" ] || fail "update --out produced an empty list"
+done
+# Determinism contract: thread count must not change the maintained set.
+cmp -s "$work/upd1.txt" "$work/upd2.txt" \
+    || fail "update result differs between 1 and 2 threads"
+
+# Round trip: compact folds the delta into the shards; unshard + sort +
+# solve consume the updated graph end to end.
+"$CLI" shard "$work/g.sadj" "$work/gc.sadjs" --shards 4 >/dev/null
+"$CLI" update "$work/gc.sadjs" --stream "$work/updates.txt" --threads 2 \
+    --batch 3 --compact --verify --out "$work/updc.txt"
+cmp -s "$work/updc.txt" "$work/upd1.txt" \
+    || fail "compaction changed the maintained set"
+"$CLI" unshard "$work/gc.sadjs" "$work/gc.adj"
+"$CLI" sort "$work/gc.adj" "$work/gc.sadj" --memory-mb 8
+"$CLI" solve "$work/gc.sadj" --algo twok --verify >/dev/null
+# update also accepts a monolithic input (shards it next to itself).
+"$CLI" update "$work/g.sadj" --stream "$work/updates.txt" --shards 3 \
+    --threads 2 --batch 4 --compact --verify >/dev/null
+[ -s "$work/g.sadj.sadjs" ] || fail "update did not shard the monolithic input"
+# Bad streams are rejected with a clean error.
+printf 'x 1 2\n' > "$work/bad.txt"
+"$CLI" shard "$work/g.sadj" "$work/gb.sadjs" --shards 2 >/dev/null
+if "$CLI" update "$work/gb.sadjs" --stream "$work/bad.txt" >/dev/null 2>&1; then
+  fail "malformed update stream exited 0"
+fi
+
 # --- pipeline from a hand-written edge list --------------------------------
 printf '# toy graph\n0\t1\n1\t2\n2\t0\n2\t3\n3\t4\n4\t0\n' > "$work/edges.txt"
 "$CLI" convert "$work/edges.txt" "$work/e.adj" --memory-mb 8

@@ -88,6 +88,83 @@ TEST_F(IncrementalTest, DuplicateAndCancellingUpdates) {
   EXPECT_EQ(inc.set_size(), 2u);
 }
 
+TEST_F(IncrementalTest, DuplicateBaseEdgeInsertThenDeleteRemovesTheEdge) {
+  // Hand-traced gadget for the duplicate-edge accounting bug: the base
+  // graph is the single edge {0,1} with set {0}.
+  //   InsertEdge(0,1)  duplicates the base edge (the maintainer cannot
+  //                    know that without scanning the base);
+  //   DeleteEdge(0,1)  must remove the edge -- both copies.
+  // The old accounting erased the duplicate from the insert delta and,
+  // concluding the edge was delta-only, never recorded the delete, so
+  // Repair's merge scan still saw the base copy alive and refused to add
+  // vertex 1. The updated graph is edgeless: {0,1} is the only maximal
+  // answer.
+  Graph g = Graph::FromEdges(2, {{0, 1}});
+  std::string path = WriteGraphFile(&scratch_, g);
+  BitVector set(2);
+  set.Set(0);
+  IncrementalMis inc;
+  ASSERT_OK(inc.Initialize(path, set));
+  ASSERT_OK(inc.InsertEdge(0, 1));  // duplicate of a base edge
+  EXPECT_EQ(inc.set_size(), 1u);
+  ASSERT_OK(inc.DeleteEdge(0, 1));
+  ASSERT_OK(inc.Repair());
+  EXPECT_TRUE(inc.set().Test(0));
+  EXPECT_TRUE(inc.set().Test(1)) << "delete after a duplicate insert left "
+                                    "the base copy of the edge alive";
+  EXPECT_EQ(inc.set_size(), 2u);
+  // Re-inserting restores the edge: the eager rule evicts the larger id.
+  ASSERT_OK(inc.InsertEdge(0, 1));
+  EXPECT_FALSE(inc.set().Test(1));
+  EXPECT_EQ(inc.set_size(), 1u);
+  ASSERT_OK(inc.Repair());
+  EXPECT_EQ(inc.set_size(), 1u);  // {0} is maximal again
+}
+
+TEST_F(IncrementalTest, RandomStormWithRedundantUpdatesKeepsInvariants) {
+  // Like RandomUpdateStormKeepsInvariants, but the stream may re-insert
+  // edges that already exist (in base or delta) and delete edges that do
+  // not -- the redundant traffic the duplicate-accounting fix is about.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph base = GenerateErdosRenyi(80, 200, seed + 40);
+    std::string path = WriteGraphFile(&scratch_, base);
+    BitVector initial = RandomMaximalSet(base, seed + 900);
+    IncrementalMis inc;
+    ASSERT_OK(inc.Initialize(path, initial));
+
+    std::set<Edge> inserted, deleted;
+    Random rng(seed * 17 + 3);
+    for (int step = 0; step < 300; ++step) {
+      VertexId u = static_cast<VertexId>(rng.Uniform(80));
+      VertexId v = static_cast<VertexId>(rng.Uniform(80));
+      if (u == v) continue;
+      Edge e{std::min(u, v), std::max(u, v)};
+      const bool in_base = base.HasEdge(u, v);
+      // No `exists` gate: half the traffic is redundant on purpose.
+      if (rng.OneIn(0.5)) {
+        ASSERT_OK(inc.DeleteEdge(u, v));
+        inserted.erase(e);
+        if (in_base) deleted.insert(e);
+      } else {
+        ASSERT_OK(inc.InsertEdge(u, v));
+        deleted.erase(e);
+        if (!in_base) inserted.insert(e);
+      }
+      if (step % 60 == 59) ASSERT_OK(inc.Repair());
+      Graph updated = ApplyDelta(base, inserted, deleted);
+      VerifyResult vr = VerifyIndependentSet(updated, inc.set());
+      ASSERT_TRUE(vr.independent)
+          << "seed " << seed << " step " << step << " edge " << vr.witness_u
+          << "-" << vr.witness_v;
+    }
+    ASSERT_OK(inc.Repair());
+    Graph updated = ApplyDelta(base, inserted, deleted);
+    VerifyResult vr = VerifyIndependentSet(updated, inc.set());
+    EXPECT_TRUE(vr.independent) << "seed " << seed;
+    EXPECT_TRUE(vr.maximal) << "seed " << seed << " vertex " << vr.witness_u;
+  }
+}
+
 TEST_F(IncrementalTest, InvalidUpdatesRejected) {
   Graph g = GeneratePath(3);
   std::string path = WriteGraphFile(&scratch_, g);

@@ -7,6 +7,8 @@
 #include "core/verify.h"
 #include "gen/generators.h"
 #include "gen/plrg.h"
+#include "graph/degree_sort.h"
+#include "graph/sharded_adjacency_file.h"
 #include "test_util.h"
 
 namespace semis {
@@ -204,6 +206,49 @@ TEST_F(SolverTest, ShardedFullPipelineDeterministicAcrossThreads) {
               testing_util::SetToVector(res1.set))
         << threads << " threads";
   }
+}
+
+TEST_F(SolverTest, SolveShardedFileMatchesShardedSolveFile) {
+  // SolveShardedFile consumes an existing SADJS manifest directly and
+  // must reproduce the SolveFile sharded pipeline on the same shards,
+  // thread for thread -- it is the re-solve entry point of the streaming
+  // update path (e.g. after a compaction).
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(9000, 2.0), 23);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string sorted = NewPath("sorted.sadj");
+  ASSERT_OK(BuildDegreeSortedAdjacencyFile(mono, sorted,
+                                           DegreeSortOptions{}));
+  std::string manifest = NewPath("sharded.sadjs");
+  ASSERT_OK(ShardAdjacencyFile(sorted, manifest, 4));
+
+  SolverOptions opts;
+  opts.num_shards = 4;
+  opts.num_threads = 2;
+  opts.verify = true;
+  Solver ref_solver(opts);
+  SolveResult ref;
+  ASSERT_OK(ref_solver.SolveFile(mono, &ref));
+
+  SolveResult direct;
+  ASSERT_OK(ref_solver.SolveShardedFile(manifest, &direct));
+  EXPECT_EQ(testing_util::SetToVector(direct.set),
+            testing_util::SetToVector(ref.set));
+  EXPECT_EQ(direct.set_size, ref.set_size);
+  EXPECT_GT(direct.io.bytes_read, 0u);
+
+  // degree_sort demands the sorted flag on sharded input (shards cannot
+  // be sorted in place)...
+  std::string unsorted_manifest = NewPath("unsorted.sadjs");
+  ASSERT_OK(ShardAdjacencyFile(mono, unsorted_manifest, 4));
+  SolveResult rejected;
+  EXPECT_TRUE(ref_solver.SolveShardedFile(unsorted_manifest, &rejected)
+                  .IsInvalidArgument());
+  // ...while degree_sort = false consumes the records as-is.
+  SolverOptions baseline = opts;
+  baseline.degree_sort = false;
+  Solver baseline_solver(baseline);
+  ASSERT_OK(baseline_solver.SolveShardedFile(unsorted_manifest, &rejected));
+  EXPECT_GT(rejected.set_size, 0u);
 }
 
 TEST_F(SolverTest, ShardedGreedyCountersFoldIntoSolveResult) {

@@ -16,15 +16,35 @@
 //                       result is byte-identical for every thread count)
 //   semis_cli cover    <graph.adj> [--out cover.txt]
 //   semis_cli color    <graph.sadj> [--mis-rounds R]
+//   semis_cli update   <graph.adj|graph.sadjs> --stream <updates.txt>
+//                      [--shards N] [--threads T] [--batch B]
+//                      [--compact-threshold E] [--compact] [--set set.txt]
+//                      [--out set.txt] [--verify]
+//                      (maintains an independent set under the edge-update
+//                       stream: batched apply -> parallel repair; the
+//                       result is byte-identical for every thread count.
+//                       A monolithic input is sharded to <input>.sadjs
+//                       first; a SADJS manifest is updated in place. A
+//                       shard whose delta log reaches E entries is
+//                       compacted automatically, default 65536, 0 = off.)
+//   semis_cli unshard  <graph.sadjs> <graph.adj>
 //
 // Every command is semi-external: O(|V|) memory, sequential file I/O.
+//
+// The update stream is a text file with one update per line:
+//   + u v    insert edge (u, v)
+//   - u v    delete edge (u, v)
+// '#' starts a comment; blank lines are skipped.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/coloring.h"
+#include "core/incremental_stream.h"
 #include "core/solver.h"
 #include "core/upper_bound.h"
 #include "core/verify.h"
@@ -54,7 +74,11 @@ void PrintUsage(std::FILE* to) {
       "  solve    <graph.adj> [--algo baseline|greedy|onek|twok] "
       "[--rounds R] [--shards N] [--threads T] [--out set.txt] [--verify]\n"
       "  cover    <graph.adj> [--out cover.txt]\n"
-      "  color    <graph.sadj> [--mis-rounds R]\n");
+      "  color    <graph.sadj> [--mis-rounds R]\n"
+      "  update   <graph.adj|graph.sadjs> --stream <updates.txt> "
+      "[--shards N] [--threads T] [--batch B] [--compact-threshold E] "
+      "[--compact] [--set set.txt] [--out set.txt] [--verify]\n"
+      "  unshard  <graph.sadjs> <graph.adj>\n");
 }
 
 // Bad usage (missing/unknown command or arguments) is an error: print the
@@ -82,7 +106,7 @@ struct Args {
       } else if (arg.rfind("--", 0) == 0) {
         std::string key = arg.substr(2);
         std::string value;
-        if (key == "verify") {  // boolean flag
+        if (key == "verify" || key == "compact") {  // boolean flags
           value = "1";
         } else if (i + 1 < argc) {
           value = argv[++i];
@@ -346,6 +370,304 @@ int CmdColor(const Args& args) {
   return conflicts == 0 ? 0 : 1;
 }
 
+// Streaming parser of an update file (see the file comment for the
+// format). Forward-only and O(1) memory, so `update` can consume streams
+// far larger than RAM; errors carry the offending line number.
+class UpdateStreamReader {
+ public:
+  ~UpdateStreamReader() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Open(const std::string& path) {
+    f_ = std::fopen(path.c_str(), "r");
+    if (f_ == nullptr) {
+      return Status::NotFound("cannot open update stream '" + path + "'");
+    }
+    path_ = path;
+    return Status::OK();
+  }
+
+  /// Parses the next update; `*has_next` is false at end of file.
+  Status Next(EdgeUpdate* update, bool* has_next) {
+    std::string line;
+    while (true) {
+      bool eof = false;
+      ReadLine(&line, &eof);
+      if (eof && line.empty()) {
+        *has_next = false;
+        return Status::OK();
+      }
+      line_no_++;
+      const char* p = line.c_str();
+      while (*p == ' ' || *p == '\t') p++;
+      if (*p == '\0' || *p == '#') continue;
+      const char op = *p++;
+      if (op != '+' && op != '-') {
+        return LineError("expected '+' or '-'");
+      }
+      char* end = nullptr;
+      unsigned long long u = std::strtoull(p, &end, 10);
+      if (end == p) return LineError("missing vertex ids");
+      p = end;
+      unsigned long long v = std::strtoull(p, &end, 10);
+      if (end == p) return LineError("missing second vertex id");
+      if (u > 0xFFFFFFFFull || v > 0xFFFFFFFFull) {
+        return LineError("vertex id does not fit 32 bits");
+      }
+      *update = (op == '+') ? EdgeUpdate::Insert(static_cast<VertexId>(u),
+                                                 static_cast<VertexId>(v))
+                            : EdgeUpdate::Delete(static_cast<VertexId>(u),
+                                                 static_cast<VertexId>(v));
+      *has_next = true;
+      return Status::OK();
+    }
+  }
+
+ private:
+  // Reads one whole line of any length (newline stripped).
+  void ReadLine(std::string* line, bool* eof) {
+    line->clear();
+    char chunk[256];
+    while (std::fgets(chunk, sizeof(chunk), f_) != nullptr) {
+      line->append(chunk);
+      if (!line->empty() && line->back() == '\n') {
+        line->pop_back();
+        return;
+      }
+    }
+    *eof = true;
+  }
+
+  Status LineError(const std::string& what) const {
+    return Status::InvalidArgument("update stream '" + path_ + "' line " +
+                                   std::to_string(line_no_) + ": " + what);
+  }
+
+  std::FILE* f_ = nullptr;
+  std::string path_;
+  uint64_t line_no_ = 0;
+};
+
+// Reads a one-id-per-line set file (the format WriteSetText emits) into a
+// bit vector of `n` bits.
+Status ReadSetText(const std::string& path, uint64_t n, BitVector* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open set file '" + path + "'");
+  }
+  BitVector set(n);
+  char line[64];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(line, &end, 10);
+    if (end == line) continue;  // blank line
+    if (v >= n) {
+      std::fclose(f);
+      return Status::InvalidArgument("set file '" + path +
+                                     "' holds an out-of-range vertex id");
+    }
+    set.Set(static_cast<size_t>(v));
+  }
+  std::fclose(f);
+  *out = std::move(set);
+  return Status::OK();
+}
+
+int CmdUpdate(const Args& args) {
+  if (args.positional.size() != 1 || !args.Has("stream")) return Usage();
+  const std::string input = args.positional[0];
+  uint32_t num_shards = 0, num_threads = 0, batch = 0;
+  if (!ParseCount(args.Get("shards", "8"), 1, kMaxAdjacencyShards,
+                  &num_shards)) {
+    std::fprintf(stderr, "error: --shards must be in [1, %u]\n",
+                 kMaxAdjacencyShards);
+    return 1;
+  }
+  if (!ParseCount(args.Get("threads", "1"), 0, 4096, &num_threads)) {
+    std::fprintf(stderr, "error: --threads must be in [0, 4096]\n");
+    return 1;
+  }
+  if (!ParseCount(args.Get("batch", "1024"), 1, 1 << 30, &batch)) {
+    std::fprintf(stderr, "error: --batch must be a positive count\n");
+    return 1;
+  }
+  const bool compact = args.Has("compact");
+  if (args.Has("verify") && !compact) {
+    std::fprintf(stderr,
+                 "error: --verify needs --compact (verification scans the "
+                 "base shards, so the delta must be folded in first)\n");
+    return 1;
+  }
+
+  // A SADJS manifest is updated in place; a monolithic file is sharded
+  // next to itself first. The choice is made on the file's magic -- a
+  // file that CLAIMS to be a manifest but fails to parse must surface its
+  // real diagnosis (e.g. a torn compaction), not fall through to a
+  // misleading "not an adjacency file" from the sharder.
+  std::string manifest_path = input;
+  ShardedAdjacencyManifest manifest;
+  bool is_manifest = false;
+  {
+    SequentialFileReader probe;
+    uint32_t magic = 0;
+    if (probe.Open(input).ok() && probe.ReadU32(&magic).ok()) {
+      is_manifest = magic == kShardManifestMagic;
+    }
+  }
+  if (is_manifest) {
+    Status s = ReadShardedAdjacencyManifest(input, &manifest);
+    if (!s.ok()) return Fail(s);
+  } else {
+    manifest_path = input + ".sadjs";
+    Status s = ShardAdjacencyFile(input, manifest_path, num_shards);
+    if (!s.ok()) return Fail(s);
+    s = ReadShardedAdjacencyManifest(manifest_path, &manifest);
+    if (!s.ok()) return Fail(s);
+    std::printf("sharded %s -> %s (%u shards)\n", input.c_str(),
+                manifest_path.c_str(), manifest.num_shards());
+  }
+
+  // Starting set: caller-provided, or a from-scratch sharded greedy solve
+  // (GREEDY on degree-sorted input, BASELINE order otherwise).
+  BitVector initial;
+  if (args.Has("set")) {
+    Status s = ReadSetText(args.Get("set"), manifest.header.num_vertices,
+                           &initial);
+    if (!s.ok()) return Fail(s);
+  } else {
+    SolverOptions sopts;
+    sopts.degree_sort = manifest.header.IsDegreeSorted();
+    sopts.swap = SwapMode::kNone;
+    sopts.num_threads = num_threads;
+    Solver solver(sopts);
+    SolveResult solved;
+    Status s = solver.SolveShardedFile(manifest_path, &solved);
+    if (!s.ok()) return Fail(s);
+    initial = std::move(solved.set);
+    std::printf("initial set: %llu vertices (sharded %s)\n",
+                static_cast<unsigned long long>(solved.set_size),
+                sopts.degree_sort ? "greedy" : "baseline greedy");
+  }
+
+  UpdateStreamReader stream;
+  Status s = stream.Open(args.Get("stream"));
+  if (!s.ok()) return Fail(s);
+
+  StreamingMisOptions opts;
+  opts.num_threads = num_threads;
+  // Auto-compaction defaults ON so the pending delta (in memory and on
+  // disk) stays bounded no matter how long the stream runs; 0 disables.
+  opts.compact_threshold_entries = std::strtoull(
+      args.Get("compact-threshold", "65536").c_str(), nullptr, 10);
+  ShardedStreamingMis mis;
+  s = mis.Initialize(manifest_path, initial, opts);
+  if (!s.ok()) return Fail(s);
+
+  // Batched apply -> repair, the amortized maintenance loop. The stream
+  // is parsed incrementally, one batch in memory at a time.
+  std::vector<EdgeUpdate> batch_updates;
+  batch_updates.reserve(batch);
+  bool drained = false;
+  while (!drained) {
+    batch_updates.clear();
+    while (batch_updates.size() < batch) {
+      EdgeUpdate update;
+      bool has_next = false;
+      s = stream.Next(&update, &has_next);
+      if (!s.ok()) return Fail(s);
+      if (!has_next) {
+        drained = true;
+        break;
+      }
+      batch_updates.push_back(update);
+    }
+    if (batch_updates.empty()) break;
+    s = mis.ApplyBatch(batch_updates);
+    if (!s.ok()) return Fail(s);
+    s = mis.Repair();
+    if (!s.ok()) return Fail(s);
+  }
+  if (compact) {
+    s = mis.Compact(/*force=*/true);
+    if (!s.ok()) return Fail(s);
+  }
+
+  const StreamingMisStats& st = mis.stats();
+  std::printf("maintained set: %llu vertices after %llu updates\n",
+              static_cast<unsigned long long>(mis.set_size()),
+              static_cast<unsigned long long>(st.updates_applied));
+  std::printf("  %llu inserts, %llu deletes, %llu redundant, "
+              "%llu evictions\n",
+              static_cast<unsigned long long>(st.inserts),
+              static_cast<unsigned long long>(st.deletes),
+              static_cast<unsigned long long>(st.redundant_updates),
+              static_cast<unsigned long long>(st.evictions));
+  std::printf("  %llu repair passes re-added %llu vertices in %.2fs "
+              "(apply %.2fs)\n",
+              static_cast<unsigned long long>(st.repair_passes),
+              static_cast<unsigned long long>(st.repair_added),
+              st.repair_seconds, st.apply_seconds);
+  std::printf("  %llu compactions rewrote %llu shards in %.2fs; "
+              "%llu delta entries pending\n",
+              static_cast<unsigned long long>(st.compactions),
+              static_cast<unsigned long long>(st.shards_rewritten),
+              st.compact_seconds,
+              static_cast<unsigned long long>(st.pending_delta_entries));
+  std::printf("  peak memory %s, %llu scans, %s read, %s written\n",
+              MemoryTracker::FormatBytes(st.peak_memory_bytes).c_str(),
+              static_cast<unsigned long long>(st.io.sequential_scans),
+              MemoryTracker::FormatBytes(st.io.bytes_read).c_str(),
+              MemoryTracker::FormatBytes(st.io.bytes_written).c_str());
+
+  if (args.Has("verify")) {
+    VerifyResult vr;
+    s = VerifyIndependentSetShardedFile(manifest_path, mis.set(), &vr);
+    if (!s.ok()) return Fail(s);
+    if (!vr.independent || !vr.maximal) {
+      std::fprintf(stderr, "error: maintained set is %s\n",
+                   !vr.independent ? "not independent" : "not maximal");
+      return 1;
+    }
+    std::printf("  verified independent + maximal\n");
+  }
+  if (args.Has("out")) {
+    s = WriteSetText(mis.set(), args.Get("out"));
+    if (!s.ok()) return Fail(s);
+    std::printf("  members written to %s\n", args.Get("out").c_str());
+  }
+  return 0;
+}
+
+int CmdUnshard(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  IoStats io;
+  ShardedAdjacencyScanner scanner(&io);
+  Status s = scanner.Open(args.positional[0]);
+  if (!s.ok()) return Fail(s);
+  const AdjacencyFileHeader& h = scanner.header();
+  AdjacencyFileWriter writer(&io);
+  s = writer.Open(args.positional[1], h.num_vertices, h.num_directed_edges,
+                  h.max_degree, h.flags);
+  if (!s.ok()) return Fail(s);
+  VertexRecord rec;
+  bool has_next = false;
+  while (true) {
+    s = scanner.Next(&rec, &has_next);
+    if (!s.ok()) return Fail(s);
+    if (!has_next) break;
+    s = writer.AppendVertex(rec.id, rec.neighbors, rec.degree);
+    if (!s.ok()) return Fail(s);
+  }
+  s = writer.Finish();
+  if (!s.ok()) return Fail(s);
+  std::printf("unsharded %s -> %s (%llu vertices, %s written)\n",
+              args.positional[0].c_str(), args.positional[1].c_str(),
+              static_cast<unsigned long long>(h.num_vertices),
+              MemoryTracker::FormatBytes(io.bytes_written).c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
@@ -367,6 +689,8 @@ int Main(int argc, char** argv) {
   if (cmd == "solve") return CmdSolve(args);
   if (cmd == "cover") return CmdCover(args);
   if (cmd == "color") return CmdColor(args);
+  if (cmd == "update") return CmdUpdate(args);
+  if (cmd == "unshard") return CmdUnshard(args);
   return Usage();
 }
 
