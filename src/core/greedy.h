@@ -29,7 +29,7 @@ struct GreedyOptions {
 /// still-INITIAL vertex joins the set and its INITIAL neighbors become
 /// non-IS. (The paper's pseudo-code types line 8 as "IS"; the
 /// surrounding text and the algorithm's correctness require non-IS.)
-inline void GreedyCommitRecord(const VertexRecord& rec,
+inline void GreedyCommitRecord(const VertexRecordView& rec,
                                std::vector<VState>* state) {
   std::vector<VState>& s = *state;
   if (s[rec.id] != VState::kInitial) return;
@@ -45,9 +45,11 @@ inline void GreedyCommitRecord(const VertexRecord& rec,
 /// (RunGreedyWithStates) and both paths of the sharded executor: the
 /// degree-sorted gate (one error text everywhere), the O(|V|) state-array
 /// init (lines 1-2), and one pass applying GreedyCommitRecord to every
-/// record. `Source` is any open record source exposing header() and
-/// Next(&rec, &has_next) -- the paths differ only in where records come
-/// from. `path` is quoted in the rejection error.
+/// record. `Source` is any open record source exposing header() and the
+/// view-API Next(&view, &has_next) (graph/record_block.h) -- the paths
+/// differ only in where records come from: the monolithic scanner, the
+/// sequential sharded scanner, or the block-decode cursor. `path` is
+/// quoted in the rejection error.
 template <typename Source>
 Status RunGreedyScan(Source* source, const std::string& path,
                      const GreedyOptions& options, AlgoResult* res,
@@ -59,7 +61,7 @@ Status RunGreedyScan(Source* source, const std::string& path,
   const uint64_t n = source->header().num_vertices;
   std::vector<VState> state(n, VState::kInitial);
   res->memory.Add("state", n * sizeof(VState));
-  VertexRecord rec;
+  VertexRecordView rec;
   bool has_next = false;
   while (true) {
     SEMIS_RETURN_IF_ERROR(source->Next(&rec, &has_next));

@@ -44,7 +44,7 @@ Status ShardedStreamingMis::Initialize(const std::string& manifest_path,
   for (uint32_t k = 0; k < manifest_.num_shards(); ++k) {
     AdjacencyShardReader reader(&stats_.io);
     SEMIS_RETURN_IF_ERROR(reader.Open(manifest_path_, manifest_, k));
-    VertexRecord rec;
+    VertexRecordView rec;
     bool has_next = false;
     while (true) {
       SEMIS_RETURN_IF_ERROR(reader.Next(&rec, &has_next));
@@ -318,7 +318,7 @@ Status ShardedStreamingMis::RepairScan(Source* source, uint64_t* added) {
                            ? 0
                            : manifest_.shards[0].num_records;
   bool view_built = false;
-  VertexRecord rec;
+  VertexRecordView rec;
   bool has_next = false;
   while (true) {
     SEMIS_RETURN_IF_ERROR(source->Next(&rec, &has_next));
@@ -390,8 +390,10 @@ Status ShardedStreamingMis::Repair() {
     // sequence is identical to the sequential path by construction.
     ThreadPool pool(num_threads);
     ManifestOrderedShardCursor cursor(&stats_.io);
-    SEMIS_RETURN_IF_ERROR(cursor.Open(manifest_path_, &pool,
-                                      options_.max_buffered_shards));
+    BlockRingOptions ring;
+    ring.block_bytes = options_.decode_block_bytes;
+    ring.max_buffered_bytes = options_.max_buffered_bytes;
+    SEMIS_RETURN_IF_ERROR(cursor.Open(manifest_path_, &pool, ring));
     Status scan = RepairScan(&cursor, &added);
     Status close = cursor.Close();
     SEMIS_RETURN_IF_ERROR(scan);
@@ -425,7 +427,7 @@ Status ShardedStreamingMis::CompactShard(uint32_t shard, ShardInfo* new_info,
 
   std::vector<VertexId> neighbors;
   std::unordered_set<VertexId> present;
-  VertexRecord rec;
+  VertexRecordView rec;
   bool has_next = false;
   while (true) {
     SEMIS_RETURN_IF_ERROR(reader.Next(&rec, &has_next));

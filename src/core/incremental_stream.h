@@ -69,9 +69,14 @@ struct StreamingMisOptions {
   /// (0 = hardware concurrency). The repaired set is independent of this
   /// value by construction; <= 1 runs the plain sequential scan.
   uint32_t num_threads = 1;
-  /// Cap on decoded shards buffered ahead of the Repair commit scan
-  /// (0 = num_threads + 1), as in ParallelGreedyOptions.
-  uint32_t max_buffered_shards = 0;
+  /// Payload bytes per decode block of the Repair pipeline's block ring
+  /// (0 = kDefaultDecodeBlockBytes), as in ParallelGreedyOptions.
+  size_t decode_block_bytes = 0;
+  /// Byte budget of decoded-but-unconsumed records buffered ahead of the
+  /// Repair commit scan (0 = 2 * block bytes * (threads + 1)), as in
+  /// ParallelGreedyOptions. The repaired set is independent of both knobs
+  /// by construction.
+  size_t max_buffered_bytes = 0;
   /// A shard whose delta log reaches this many live entries is saturated:
   /// the next Compact() (or the automatic one at the end of ApplyBatch)
   /// rewrites it and truncates its log. 0 disables automatic compaction;
@@ -197,7 +202,7 @@ class ShardedStreamingMis {
   };
   void BuildShardDeltaView(uint32_t shard, ShardDeltaView* view) const;
   // The shared Repair commit rule, applied to records strictly in
-  // manifest order. `Source` exposes Next(&rec, &has_next).
+  // manifest order. `Source` exposes the view-API Next(&view, &has_next).
   template <typename Source>
   Status RepairScan(Source* source, uint64_t* added);
   Status CompactShard(uint32_t shard, ShardInfo* new_info,

@@ -32,8 +32,10 @@ Status RunParallelGreedyWithStates(const std::string& manifest_path,
   } else {
     ThreadPool pool(num_threads);
     ManifestOrderedShardCursor cursor(&res.io);
-    SEMIS_RETURN_IF_ERROR(
-        cursor.Open(manifest_path, &pool, options.max_buffered_shards));
+    BlockRingOptions ring;
+    ring.block_bytes = options.decode_block_bytes;
+    ring.max_buffered_bytes = options.max_buffered_bytes;
+    SEMIS_RETURN_IF_ERROR(cursor.Open(manifest_path, &pool, ring));
     SEMIS_RETURN_IF_ERROR(
         RunGreedyScan(&cursor, manifest_path, options.greedy, &res, &state));
     SEMIS_RETURN_IF_ERROR(cursor.Close());

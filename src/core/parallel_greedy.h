@@ -33,10 +33,15 @@ struct ParallelGreedyOptions {
   /// Decoder threads prefetching shards (0 = hardware concurrency).
   /// The result is independent of this value by construction.
   uint32_t num_threads = 1;
-  /// Cap on decoded shards buffered ahead of the commit scan
-  /// (0 = num_threads + 1). Bounds the pipeline's extra memory to the
-  /// largest `max_buffered_shards` consecutive shards.
-  uint32_t max_buffered_shards = 0;
+  /// Payload bytes per decode block of the cursor's block ring
+  /// (0 = kDefaultDecodeBlockBytes). The result is independent of this
+  /// value by construction.
+  size_t decode_block_bytes = 0;
+  /// Byte budget of decoded-but-unconsumed records buffered ahead of the
+  /// commit scan (0 = 2 * block bytes * (threads + 1)). Bounds the
+  /// pipeline's extra memory regardless of shard sizes; the result is
+  /// independent of this value by construction.
+  size_t max_buffered_bytes = 0;
 };
 
 /// Runs Algorithm 1 over the sharded adjacency file rooted at

@@ -130,8 +130,9 @@ class ParallelSwapRun {
   template <typename Fn>
   Status ScanShards(Fn&& fn) {
     return RunShardPass([&](uint32_t shard, size_t worker) {
-      return ScanOneShard(shard, worker,
-                          [&](const VertexRecord& rec) { fn(rec, worker); });
+      return ScanOneShard(shard, worker, [&](const VertexRecordView& rec) {
+        fn(rec, worker);
+      });
     });
   }
 
@@ -139,7 +140,7 @@ class ParallelSwapRun {
   Status ScanOneShard(uint32_t shard, size_t worker, RecordFn&& fn) {
     AdjacencyShardReader reader(&worker_io_[worker]);
     SEMIS_RETURN_IF_ERROR(reader.Open(manifest_path_, manifest_, shard));
-    VertexRecord rec;
+    VertexRecordView rec;
     bool has_next = false;
     while (true) {
       SEMIS_RETURN_IF_ERROR(reader.Next(&rec, &has_next));
@@ -165,14 +166,14 @@ class ParallelSwapRun {
     mark_r_[w].store(1, std::memory_order_relaxed);
     ctx->removed.insert(w);
   }
-  void StampNeighbors(const VertexRecord& rec, size_t worker);
+  void StampNeighbors(const VertexRecordView& rec, size_t worker);
   bool Stamped(VertexId v, size_t worker) const {
     return stamp_[worker][v] == token_[worker];
   }
-  void ProposalVertex(const VertexRecord& rec, size_t worker,
+  void ProposalVertex(const VertexRecordView& rec, size_t worker,
                       ShardContext* ctx, RoundStats* round);
-  void TryTwoKSwap(const VertexRecord& rec, size_t worker, ShardContext* ctx,
-                   RoundStats* round);
+  void TryTwoKSwap(const VertexRecordView& rec, size_t worker,
+                   ShardContext* ctx, RoundStats* round);
 
   const ParallelSwapOptions& options_;
   const std::string manifest_path_;
@@ -213,7 +214,7 @@ Status ParallelSwapRun::LabelScan() {
   for (uint64_t v = 0; v < n_; ++v) {
     cnt_[v].store(0, std::memory_order_relaxed);
   }
-  return ScanShards([this](const VertexRecord& rec, size_t) {
+  return ScanShards([this](const VertexRecordView& rec, size_t) {
     const VertexId u = rec.id;
     if (State(u) == VState::kI) return;
     VertexId e1 = kInvalidVertex, e2 = kInvalidVertex;
@@ -246,7 +247,8 @@ Status ParallelSwapRun::LabelScan() {
   });
 }
 
-void ParallelSwapRun::StampNeighbors(const VertexRecord& rec, size_t worker) {
+void ParallelSwapRun::StampNeighbors(const VertexRecordView& rec,
+                                     size_t worker) {
   if (stamp_[worker].empty()) stamp_[worker].assign(n_, 0);
   if (++token_[worker] == 0) {  // wrapped: clear and restart
     std::fill(stamp_[worker].begin(), stamp_[worker].end(), 0);
@@ -257,7 +259,7 @@ void ParallelSwapRun::StampNeighbors(const VertexRecord& rec, size_t worker) {
   }
 }
 
-void ParallelSwapRun::TryTwoKSwap(const VertexRecord& rec, size_t worker,
+void ParallelSwapRun::TryTwoKSwap(const VertexRecordView& rec, size_t worker,
                                   ShardContext* ctx, RoundStats* round) {
   // Shard-local Algorithm 4: register u in SC(w1, w2), pair it with an
   // earlier compatible anchor, and fire the 2-3 skeleton when u is the
@@ -352,7 +354,7 @@ void ParallelSwapRun::TryTwoKSwap(const VertexRecord& rec, size_t worker,
   }
 }
 
-void ParallelSwapRun::ProposalVertex(const VertexRecord& rec, size_t worker,
+void ParallelSwapRun::ProposalVertex(const VertexRecordView& rec, size_t worker,
                                      ShardContext* ctx, RoundStats* round) {
   const VertexId u = rec.id;
   if (State(u) != VState::kA) return;
@@ -390,7 +392,7 @@ Status ParallelSwapRun::ProposalScan(RoundStats* round, AlgoResult* res) {
   SEMIS_RETURN_IF_ERROR(RunShardPass([&](uint32_t shard, size_t worker) {
     ShardContext ctx;
     RoundStats local;
-    Status s = ScanOneShard(shard, worker, [&](const VertexRecord& rec) {
+    Status s = ScanOneShard(shard, worker, [&](const VertexRecordView& rec) {
       ProposalVertex(rec, worker, &ctx, &local);
     });
     one_k.fetch_add(local.one_k_swaps, std::memory_order_relaxed);
@@ -409,7 +411,7 @@ Status ParallelSwapRun::ProposalScan(RoundStats* round, AlgoResult* res) {
 }
 
 Status ParallelSwapRun::SwapScan() {
-  return ScanShards([this](const VertexRecord& rec, size_t) {
+  return ScanShards([this](const VertexRecordView& rec, size_t) {
     const VertexId u = rec.id;
     if (State(u) == VState::kI) {
       if (MarkedR(u)) decision_[u] = Decision::kLeave;
@@ -463,7 +465,7 @@ void ParallelSwapRun::ApplySwaps(RoundStats* round) {
 }
 
 Status ParallelSwapRun::FreeScan() {
-  return ScanShards([this](const VertexRecord& rec, size_t) {
+  return ScanShards([this](const VertexRecordView& rec, size_t) {
     const VertexId u = rec.id;
     if (State(u) == VState::kI) {
       free_[u] = 0;
@@ -484,7 +486,7 @@ Status ParallelSwapRun::JoinScan() {
   // 0<->1 swaps: a free vertex (no IS neighbor) joins iff it is the local
   // minimum among the free vertices of its closed neighborhood -- the
   // deterministic parallel counterpart of the sequential post-swap rule.
-  return ScanShards([this](const VertexRecord& rec, size_t) {
+  return ScanShards([this](const VertexRecordView& rec, size_t) {
     const VertexId u = rec.id;
     if (!free_[u]) return;
     for (uint32_t i = 0; i < rec.degree; ++i) {

@@ -8,8 +8,9 @@ namespace semis {
 namespace {
 
 // One streaming verification pass; `Source` is any open record source
-// exposing header() and Next(&rec, &has_next) -- the monolithic and the
-// sharded scanner yield the same record stream, so the check is shared.
+// exposing header() and the view-API Next(&view, &has_next) -- the
+// monolithic and the sharded scanner yield the same record stream, so the
+// check is shared.
 template <typename Source>
 Status VerifyScan(Source* scanner, const BitVector& set,
                   VerifyResult* result) {
@@ -19,7 +20,7 @@ Status VerifyScan(Source* scanner, const BitVector& set,
   VerifyResult r;
   r.independent = true;
   r.maximal = true;
-  VertexRecord rec;
+  VertexRecordView rec;
   bool has_next = false;
   while (true) {
     SEMIS_RETURN_IF_ERROR(scanner->Next(&rec, &has_next));

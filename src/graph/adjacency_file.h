@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/record_block.h"
 #include "io/file.h"
 #include "io/io_stats.h"
 #include "util/common.h"
@@ -78,6 +79,23 @@ struct VertexRecord {
   const VertexId* neighbors = nullptr;
 };
 
+/// Shared shim behind every reader's VertexRecord-compat Next overload:
+/// drives the source's view-API Next and repackages the view (same
+/// lifetime rules). One definition so the field mapping cannot diverge
+/// between readers.
+template <typename Source>
+Status NextRecordFromView(Source* source, VertexRecord* rec,
+                          bool* has_next) {
+  VertexRecordView view;
+  SEMIS_RETURN_IF_ERROR(source->Next(&view, has_next));
+  if (*has_next) {
+    rec->id = view.id;
+    rec->degree = view.degree;
+    rec->neighbors = view.neighbors;
+  }
+  return Status::OK();
+}
+
 /// Forward-only reader of adjacency files. Rewind() restarts a scan (and
 /// bumps IoStats::sequential_scans): this is the only iteration primitive
 /// the semi-external algorithms get.
@@ -97,6 +115,17 @@ class AdjacencyFileScanner {
   /// case `rec` is untouched). Validates ids, degrees and totals; a
   /// truncated or inconsistent file yields Corruption.
   Status Next(VertexRecord* rec, bool* has_next);
+
+  /// View-API flavor of Next (graph/record_block.h): identical semantics,
+  /// `view->neighbors` points into the scanner buffer until the next call.
+  /// Lets generic scan code (RunGreedyScan, the streaming RepairScan) run
+  /// unchanged over this scanner and the block-decode cursor.
+  Status Next(VertexRecordView* view, bool* has_next) {
+    VertexRecord rec;
+    SEMIS_RETURN_IF_ERROR(Next(&rec, has_next));
+    if (*has_next) *view = VertexRecordView{rec.id, rec.degree, rec.neighbors};
+    return Status::OK();
+  }
 
   /// Restarts the scan from the first record. Counts a sequential scan.
   Status Rewind();

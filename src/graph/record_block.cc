@@ -1,0 +1,68 @@
+#include "graph/record_block.h"
+
+namespace semis {
+
+VertexId* RecordBlock::BeginRecord(VertexId id, uint32_t degree) {
+  // One staged record at a time; a second Begin without Commit/Abandon is
+  // a programming error upstream, but recovering by dropping the earlier
+  // stage keeps the arena consistent either way.
+  staged_ = Entry{id, degree, arena_size_};
+  staging_ = true;
+  const size_t needed = arena_size_ + degree;
+  if (arena_.size() < needed) {
+    // Grow geometrically without value-initializing the live prefix over
+    // and over (resize() would zero the new words every call).
+    size_t grown = arena_.size() == 0 ? 1024 : arena_.size();
+    while (grown < needed) grown *= 2;
+    arena_.resize(grown);
+  }
+  return arena_.data() + arena_size_;
+}
+
+void RecordBlock::CommitRecord() {
+  if (!staging_) return;
+  arena_size_ = staged_.offset + staged_.degree;
+  index_.push_back(staged_);
+  staging_ = false;
+}
+
+void RecordBlock::AbandonRecord() { staging_ = false; }
+
+void RecordBlock::Clear() {
+  arena_size_ = 0;
+  index_.clear();  // keeps capacity
+  staging_ = false;
+}
+
+RecordBlock RecordBlockPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      RecordBlock block = std::move(free_.back());
+      free_.pop_back();
+      return block;
+    }
+    blocks_created_++;
+  }
+  return RecordBlock();
+}
+
+void RecordBlockPool::Release(RecordBlock&& block) {
+  block.Clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(block));
+}
+
+uint64_t RecordBlockPool::blocks_created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_created_;
+}
+
+size_t RecordBlockPool::pooled_capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const RecordBlock& block : free_) bytes += block.capacity_bytes();
+  return bytes;
+}
+
+}  // namespace semis

@@ -282,7 +282,7 @@ Status AdjacencyShardReader::Open(const std::string& manifest_path,
   return Status::OK();
 }
 
-Status AdjacencyShardReader::Next(VertexRecord* rec, bool* has_next) {
+Status AdjacencyShardReader::NextInto(RecordBlock* block, bool* has_next) {
   if (records_seen_ == num_records_) {
     if (!reader_.AtEof()) {
       return Status::Corruption("trailing bytes after last record in '" +
@@ -313,26 +313,39 @@ Status AdjacencyShardReader::Next(VertexRecord* rec, bool* has_next) {
     return Status::Corruption("record degree exceeds header max_degree in '" +
                               path_ + "'");
   }
-  neighbor_buf_.resize(degree);
+  // Decode straight into the block arena; a failed read or a bad neighbor
+  // rolls the staged record back so the block never exposes a half-record.
+  VertexId* dst = block->BeginRecord(id, degree);
   if (degree > 0) {
-    SEMIS_RETURN_IF_ERROR(
-        reader_.ReadExact(neighbor_buf_.data(), sizeof(VertexId) * degree));
-    for (VertexId nb : neighbor_buf_) {
-      if (nb >= num_vertices_) {
+    Status read = reader_.ReadExact(dst, sizeof(VertexId) * degree);
+    if (!read.ok()) {
+      block->AbandonRecord();
+      return read;
+    }
+    for (uint32_t i = 0; i < degree; ++i) {
+      if (dst[i] >= num_vertices_) {
+        block->AbandonRecord();
         return Status::Corruption("neighbor id out of range in '" + path_ +
                                   "'");
       }
     }
   }
-  records_seen_++;
-  edges_seen_ += degree;
-  if (edges_seen_ > num_edges_) {
+  if (edges_seen_ + degree > num_edges_) {
+    block->AbandonRecord();
     return Status::Corruption("more edges than declared in '" + path_ + "'");
   }
-  rec->id = id;
-  rec->degree = degree;
-  rec->neighbors = neighbor_buf_.data();
+  block->CommitRecord();
+  records_seen_++;
+  edges_seen_ += degree;
+  if (stats_ != nullptr) stats_->records_decoded++;
   *has_next = true;
+  return Status::OK();
+}
+
+Status AdjacencyShardReader::Next(VertexRecordView* view, bool* has_next) {
+  scratch_block_.Clear();  // keeps its arena capacity across records
+  SEMIS_RETURN_IF_ERROR(NextInto(&scratch_block_, has_next));
+  if (*has_next) *view = scratch_block_.view(0);
   return Status::OK();
 }
 
@@ -352,14 +365,14 @@ Status ShardedAdjacencyScanner::Open(const std::string& manifest_path) {
   return Status::OK();
 }
 
-Status ShardedAdjacencyScanner::Next(VertexRecord* rec, bool* has_next) {
+Status ShardedAdjacencyScanner::Next(VertexRecordView* view, bool* has_next) {
   while (true) {
     if (!shard_open_) {
       *has_next = false;
       return Status::OK();
     }
     bool shard_has_next = false;
-    SEMIS_RETURN_IF_ERROR(reader_.Next(rec, &shard_has_next));
+    SEMIS_RETURN_IF_ERROR(reader_.Next(view, &shard_has_next));
     if (shard_has_next) {
       *has_next = true;
       return Status::OK();
@@ -378,16 +391,31 @@ Status ShardedAdjacencyScanner::Next(VertexRecord* rec, bool* has_next) {
 ManifestOrderedShardCursor::ManifestOrderedShardCursor(IoStats* stats)
     : stats_(stats) {}
 
-ManifestOrderedShardCursor::~ManifestOrderedShardCursor() { (void)Close(); }
+ManifestOrderedShardCursor::~ManifestOrderedShardCursor() {
+  (void)Close();
+  ReleaseCurrentBlock();
+}
+
+// Returns the consumer's block (left alone by Close, which may race a
+// concurrent Next) to the pool, so an abandoned scan does not strand a
+// warmed arena -- that would quietly erode an external pool's
+// steady-state zero-allocation property. Only called from contexts where
+// no consumer can legitimately hold the block: Open and the destructor.
+void ManifestOrderedShardCursor::ReleaseCurrentBlock() {
+  if (current_loaded_ && blocks_ != nullptr) {
+    current_loaded_ = false;
+    blocks_->Release(std::move(current_));
+  }
+}
 
 Status ManifestOrderedShardCursor::Open(const std::string& manifest_path,
                                         ThreadPool* pool,
-                                        uint32_t max_buffered_shards) {
+                                        const BlockRingOptions& ring) {
   if (pool == nullptr) {
     return Status::InvalidArgument(
         "manifest-ordered cursor requires a thread pool");
   }
-  if (open_) {
+  if (open_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("cursor is already open");
   }
   manifest_path_ = manifest_path;
@@ -395,19 +423,31 @@ Status ManifestOrderedShardCursor::Open(const std::string& manifest_path,
       ReadShardedAdjacencyManifest(manifest_path, &manifest_, stats_));
   if (stats_ != nullptr) stats_->sequential_scans++;
   pool_ = pool;
-  window_ = max_buffered_shards != 0
-                ? max_buffered_shards
-                : static_cast<uint32_t>(pool->size()) + 1;
-  slots_.assign(manifest_.num_shards(), Slot());
+  block_bytes_ = ring.block_bytes != 0 ? ring.block_bytes
+                                       : kDefaultDecodeBlockBytes;
+  // Default byte budget: double buffering per decoder plus the consumer's
+  // block -- the record-granular analogue of the old "pool size + 1
+  // shards" window, but independent of shard sizes.
+  max_buffered_bytes_ = ring.max_buffered_bytes != 0
+                            ? ring.max_buffered_bytes
+                            : 2 * block_bytes_ * (pool->size() + 1);
+  // A block abandoned by a previous scan goes back to ITS pool before the
+  // pool pointer moves on.
+  ReleaseCurrentBlock();
+  blocks_ = ring.pool != nullptr ? ring.pool : &own_blocks_;
+  // Fresh vector rather than resize: resize would move-or-copy existing
+  // elements, and ShardStream is move-only with a non-noexcept move.
+  streams_ = std::vector<ShardStream>(manifest_.num_shards());
   worker_io_.assign(pool->size(), IoStats());
-  consume_index_ = 0;
+  consume_shard_ = 0;
   cancel_ = false;
   buffered_bytes_ = 0;
   peak_buffered_bytes_ = 0;
-  current_words_.clear();
-  current_offset_ = 0;
+  blocks_decoded_.store(0, std::memory_order_relaxed);
+  current_pos_ = 0;
+  current_bytes_ = 0;
   current_loaded_ = false;
-  open_ = true;
+  open_.store(true, std::memory_order_release);
   pool_->BeginParallelFor(manifest_.num_shards(), [this](size_t shard,
                                                          size_t worker) {
     DecodeShard(static_cast<uint32_t>(shard), worker);
@@ -415,104 +455,171 @@ Status ManifestOrderedShardCursor::Open(const std::string& manifest_path,
   return Status::OK();
 }
 
-void ManifestOrderedShardCursor::DecodeShard(uint32_t shard, size_t worker) {
+bool ManifestOrderedShardCursor::PublishBlock(uint32_t shard,
+                                              RecordBlock* block) {
+  const size_t bytes = block->payload_bytes();
   {
-    // Workers pull shard indices in ascending order, so blocking on the
-    // window here never starves a lower shard: everything the consumer is
-    // waiting for is either decoded or within the window.
     std::unique_lock<std::mutex> lock(mu_);
-    window_cv_.wait(lock, [&] {
-      return cancel_ || shard < consume_index_ + window_;
+    // Byte back-pressure with a starvation override: the shard the
+    // consumer is waiting on (its queue is empty) may always publish, so
+    // the consumer can make progress for ANY geometry -- even a budget
+    // smaller than one block. Workers claim shards in ascending order, so
+    // the consumer's shard is always either finished or owned by a worker
+    // this override lets through; the ring cannot deadlock.
+    space_cv_.wait(lock, [&] {
+      return cancel_ || buffered_bytes_ + bytes <= max_buffered_bytes_ ||
+             (shard == consume_shard_ && streams_[shard].blocks.empty());
     });
-    if (cancel_) return;
-  }
-  Slot decoded;
-  AdjacencyShardReader reader(&worker_io_[worker]);
-  decoded.status = reader.Open(manifest_path_, manifest_, shard);
-  if (decoded.status.ok()) {
-    decoded.words.reserve(2 * manifest_.shards[shard].num_records +
-                          manifest_.shards[shard].num_directed_edges);
-    VertexRecord rec;
-    bool has_next = false;
-    while (true) {
-      decoded.status = reader.Next(&rec, &has_next);
-      if (!decoded.status.ok() || !has_next) break;
-      decoded.words.push_back(rec.id);
-      decoded.words.push_back(rec.degree);
-      decoded.words.insert(decoded.words.end(), rec.neighbors,
-                           rec.neighbors + rec.degree);
+    if (!cancel_) {
+      buffered_bytes_ += bytes;
+      if (buffered_bytes_ > peak_buffered_bytes_) {
+        peak_buffered_bytes_ = buffered_bytes_;
+      }
+      streams_[shard].blocks.push_back(std::move(*block));
+      blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
+      ready_cv_.notify_all();
+      lock.unlock();
+      // Refill outside mu_: the replacement block is thread-local until
+      // the next publish, and Acquire takes the pool mutex (and may grow
+      // an arena) -- no reason to stall the consumer or other decoders.
+      *block = blocks_->Acquire();
+      return true;
     }
-    Status close_status = reader.Close();
-    if (decoded.status.ok()) decoded.status = close_status;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    Slot& slot = slots_[shard];
-    slot.words = std::move(decoded.words);
-    slot.status = std::move(decoded.status);
-    slot.ready = true;
-    buffered_bytes_ += slot.words.size() * sizeof(VertexId);
-    if (buffered_bytes_ > peak_buffered_bytes_) {
-      peak_buffered_bytes_ = buffered_bytes_;
-    }
-    ready_cv_.notify_all();
-  }
+  blocks_->Release(std::move(*block));
+  return false;
 }
 
-Status ManifestOrderedShardCursor::Next(VertexRecord* rec, bool* has_next) {
-  if (!open_) {
+void ManifestOrderedShardCursor::FinishShard(uint32_t shard, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_[shard].status = std::move(status);
+  streams_[shard].finished = true;
+  ready_cv_.notify_all();
+}
+
+void ManifestOrderedShardCursor::DecodeShard(uint32_t shard, size_t worker) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancel_) return;  // Close raced ahead; skip the file entirely
+  }
+  AdjacencyShardReader reader(&worker_io_[worker]);
+  Status status = reader.Open(manifest_path_, manifest_, shard);
+  if (status.ok()) {
+    RecordBlock block = blocks_->Acquire();
+    bool has_next = false;
+    while (true) {
+      status = reader.NextInto(&block, &has_next);
+      if (!status.ok() || !has_next) break;
+      if (block.payload_bytes() >= block_bytes_) {
+        if (!PublishBlock(shard, &block)) return;  // cancelled
+      }
+    }
+    Status close_status = reader.Close();
+    if (status.ok()) status = close_status;
+    if (!block.empty()) {
+      if (!PublishBlock(shard, &block)) return;  // cancelled
+    }
+    blocks_->Release(std::move(block));
+  }
+  FinishShard(shard, std::move(status));
+}
+
+Status ManifestOrderedShardCursor::Next(VertexRecordView* view,
+                                        bool* has_next) {
+  if (!open_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("cursor is not open");
   }
   while (true) {
-    if (current_loaded_ && current_offset_ < current_words_.size()) {
-      rec->id = current_words_[current_offset_];
-      rec->degree = current_words_[current_offset_ + 1];
-      rec->neighbors = current_words_.data() + current_offset_ + 2;
-      current_offset_ += 2 + rec->degree;
+    // Fast path: serve the next record straight out of the current block,
+    // no lock, no copy, no allocation.
+    if (current_loaded_ && current_pos_ < current_.num_records()) {
+      *view = current_.view(current_pos_++);
       *has_next = true;
       return Status::OK();
     }
     std::unique_lock<std::mutex> lock(mu_);
     if (current_loaded_) {
-      // Finished a shard: drop its buffer and open the window one slot.
+      // Drained a block: uncharge its bytes and recycle it. The bytes
+      // stayed charged while the consumer held it, so peak_buffered_bytes
+      // covers the consumer's block like the old shard window did.
       current_loaded_ = false;
-      buffered_bytes_ -= current_words_.size() * sizeof(VertexId);
-      current_words_.clear();
-      current_words_.shrink_to_fit();
-      consume_index_++;
-      window_cv_.notify_all();
+      buffered_bytes_ -= current_bytes_;
+      space_cv_.notify_all();
+      RecordBlock done = std::move(current_);
+      lock.unlock();
+      blocks_->Release(std::move(done));
+      lock.lock();
     }
-    if (consume_index_ >= manifest_.num_shards()) {
-      *has_next = false;
-      return Status::OK();
+    while (true) {
+      if (cancel_) {
+        return Status::InvalidArgument("cursor was closed during the scan");
+      }
+      if (consume_shard_ >= manifest_.num_shards()) {
+        *has_next = false;
+        return Status::OK();
+      }
+      ShardStream& stream = streams_[consume_shard_];
+      ready_cv_.wait(lock, [&] {
+        return cancel_ || !stream.blocks.empty() || stream.finished;
+      });
+      if (cancel_) {
+        return Status::InvalidArgument("cursor was closed during the scan");
+      }
+      if (!stream.blocks.empty()) {
+        current_ = std::move(stream.blocks.front());
+        stream.blocks.pop_front();
+        current_pos_ = 0;
+        current_bytes_ = current_.payload_bytes();
+        current_loaded_ = true;
+        break;
+      }
+      // Shard finished with nothing queued: surface its error here (the
+      // manifest-order point where the failure sits) or advance.
+      if (!stream.status.ok()) return stream.status;
+      consume_shard_++;
+      space_cv_.notify_all();
     }
-    Slot& slot = slots_[consume_index_];
-    ready_cv_.wait(lock, [&] { return slot.ready; });
-    if (!slot.status.ok()) return slot.status;
-    // The moved-out buffer stays charged to buffered_bytes_ until the
-    // shard is fully consumed; size is preserved through the move.
-    current_words_ = std::move(slot.words);
-    current_offset_ = 0;
-    current_loaded_ = true;
   }
 }
 
 Status ManifestOrderedShardCursor::Close() {
-  if (!open_) return Status::OK();
+  // Serialized so a destructor-driven Close and an explicit one (possibly
+  // from another thread, while Next blocks) cannot interleave teardown.
+  std::lock_guard<std::mutex> close_lock(close_mu_);
+  if (!open_.load(std::memory_order_acquire)) return Status::OK();
   {
     std::lock_guard<std::mutex> lock(mu_);
     cancel_ = true;
-    window_cv_.notify_all();
+    // Wake BOTH sides: decoders blocked on byte headroom and a consumer
+    // blocked in Next (which then fails instead of hanging forever).
+    space_cv_.notify_all();
+    ready_cv_.notify_all();
   }
   pool_->WaitForCompletion();
-  for (const IoStats& io : worker_io_) {
-    if (stats_ != nullptr) stats_->MergeFrom(io);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ShardStream& stream : streams_) {
+      while (!stream.blocks.empty()) {
+        buffered_bytes_ -= stream.blocks.front().payload_bytes();
+        blocks_->Release(std::move(stream.blocks.front()));
+        stream.blocks.pop_front();
+      }
+    }
+    streams_.clear();
+  }
+  if (stats_ != nullptr) {
+    for (const IoStats& io : worker_io_) stats_->MergeFrom(io);
+    stats_->blocks_decoded += blocks_decoded_.load(std::memory_order_relaxed);
+    if (peak_buffered_bytes_ > stats_->peak_buffered_bytes) {
+      stats_->peak_buffered_bytes = peak_buffered_bytes_;
+    }
+    const size_t arena = blocks_->pooled_capacity_bytes();
+    if (arena > stats_->arena_bytes) stats_->arena_bytes = arena;
   }
   worker_io_.clear();
-  slots_.clear();
-  current_words_.clear();
-  current_loaded_ = false;
-  open_ = false;
+  // The consumer's current block (if any) is consumer-owned; leave it for
+  // the next Open/destruction rather than racing a concurrent Next.
+  open_.store(false, std::memory_order_release);
   pool_ = nullptr;
   return Status::OK();
 }

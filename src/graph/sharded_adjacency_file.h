@@ -27,13 +27,16 @@
 #ifndef SEMIS_GRAPH_SHARDED_ADJACENCY_FILE_H_
 #define SEMIS_GRAPH_SHARDED_ADJACENCY_FILE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "graph/adjacency_file.h"
+#include "graph/record_block.h"
 #include "io/file.h"
 #include "io/io_stats.h"
 #include "util/common.h"
@@ -150,9 +153,23 @@ class AdjacencyShardReader {
   Status Open(const std::string& manifest_path,
               const ShardedAdjacencyManifest& manifest, uint32_t index);
 
-  /// Reads the next record; `*has_next` is false after the last record.
+  /// Decodes the next record straight into `block`'s arena (the zero-copy
+  /// hot path: no intermediate neighbor buffer). On success the record is
+  /// committed to the block; on any error the block is left exactly as it
+  /// was (a failed decode never publishes a half-record). `*has_next` is
+  /// false after the last record, with nothing appended.
   /// Validation mirrors AdjacencyFileScanner::Next.
-  Status Next(VertexRecord* rec, bool* has_next);
+  Status NextInto(RecordBlock* block, bool* has_next);
+
+  /// Reads the next record as a view into a reader-owned block
+  /// (invalidated by the next call); `*has_next` is false after the last
+  /// record.
+  Status Next(VertexRecordView* view, bool* has_next);
+
+  /// Compatibility flavor of Next for VertexRecord consumers.
+  Status Next(VertexRecord* rec, bool* has_next) {
+    return NextRecordFromView(this, rec, has_next);
+  }
 
   /// Closes the underlying file. Safe to call twice.
   Status Close();
@@ -167,7 +184,7 @@ class AdjacencyShardReader {
   uint64_t num_edges_ = 0;
   uint64_t records_seen_ = 0;
   uint64_t edges_seen_ = 0;
-  std::vector<VertexId> neighbor_buf_;
+  RecordBlock scratch_block_;  // backs the per-record Next flavors
 };
 
 /// Forward-only reader over all shards in index order: yields exactly the
@@ -184,7 +201,12 @@ class ShardedAdjacencyScanner {
   const AdjacencyFileHeader& header() const { return manifest_.header; }
 
   /// Next record in global order, crossing shard boundaries transparently.
-  Status Next(VertexRecord* rec, bool* has_next);
+  Status Next(VertexRecordView* view, bool* has_next);
+
+  /// Compatibility flavor of Next for VertexRecord consumers.
+  Status Next(VertexRecord* rec, bool* has_next) {
+    return NextRecordFromView(this, rec, has_next);
+  }
 
  private:
   IoStats* stats_;
@@ -195,28 +217,63 @@ class ShardedAdjacencyScanner {
   bool shard_open_ = false;
 };
 
+/// Geometry and budget of the cursor's record-granular block ring.
+struct BlockRingOptions {
+  /// Target payload bytes of one decode block: a decoder publishes its
+  /// block as soon as the payload reaches this size. A single record
+  /// larger than the block still fits (the block grows for it), so any
+  /// geometry decodes any file. 0 = kDefaultDecodeBlockBytes.
+  size_t block_bytes = 0;
+  /// Back-pressure budget: decoders stall once this many payload bytes
+  /// sit decoded-but-unconsumed in the ring. The consumer's current shard
+  /// may always publish one block past the budget when the consumer is
+  /// starved (the progress guarantee), so the ring can never deadlock --
+  /// peak buffering is bounded by `max(budget, one block)` plus at most
+  /// one in-flight block per decoder, independent of shard sizes.
+  /// 0 = 2 * block_bytes * (pool size + 1).
+  size_t max_buffered_bytes = 0;
+  /// Optional external block pool, letting callers reuse arena capacity
+  /// across cursors (e.g. repeated scans in a bench loop). nullptr = the
+  /// cursor owns a private pool. Must outlive the cursor.
+  RecordBlockPool* pool = nullptr;
+};
+
 /// Manifest-ordered multi-shard cursor: yields exactly the record stream
 /// of the equivalent monolithic file (like ShardedAdjacencyScanner), but
-/// decodes shards ahead of the consumer on a caller-provided thread pool.
+/// decodes shards ahead of the consumer on a caller-provided thread pool
+/// through a record-granular, double-buffered block ring: decoder threads
+/// fill fixed-size arena-backed RecordBlocks (graph/record_block.h) and
+/// publish each block the moment it is full, so the consumer starts
+/// draining a shard long before it is fully decoded and peak memory is
+/// bounded by the ring's byte budget, not by the largest shard.
 ///
 /// Contract (see docs/formats.md):
 ///   * records are delivered strictly in global manifest order, crossing
-///     shard boundaries transparently -- the prefetching never reorders,
+///     shard boundaries transparently -- the pipelining never reorders,
 ///     drops, or duplicates a record, so any sequential algorithm driven
 ///     by this cursor produces output byte-identical to a run over the
-///     monolithic file, at every pool size;
-///   * at most `max_buffered_shards` decoded shards are held in memory at
-///     once (the consumer's current shard plus the prefetch window);
-///     workers that run ahead of the window block until the consumer
-///     frees a slot, so the memory bound holds for any shard count;
+///     monolithic file, at every pool size and block geometry;
+///   * back-pressure is measured in buffered payload BYTES
+///     (BlockRingOptions::max_buffered_bytes), with a starvation override
+///     for the consumer's current shard that rules out deadlock for any
+///     geometry -- including a budget smaller than one block and a block
+///     smaller than one record;
+///   * blocks recycle through a RecordBlockPool, so steady-state decode
+///     performs no per-record heap allocation;
 ///   * each worker decodes with a private AdjacencyShardReader and
-///     IoStats; per-worker I/O merges into the caller's stats at Close;
-///   * a decode error in shard K surfaces from the Next() call that
-///     reaches shard K, after every record of shards 0..K-1 was yielded.
+///     IoStats; per-worker I/O plus the ring counters (blocks_decoded,
+///     arena_bytes, peak_buffered_bytes) merge into the caller's stats at
+///     Close;
+///   * a decode error in shard K surfaces from a Next() call within
+///     shard K, after every record of shards 0..K-1 and every valid
+///     record decoded before the error was yielded.
 ///
 /// The cursor owns the pool's work queue from Open to Close (the pool's
 /// one-job-at-a-time rule); callers reusing a pool across stages must
-/// Close the cursor before submitting other work.
+/// Close the cursor before submitting other work. Close may be called
+/// from a thread other than the consumer's (and concurrently with a
+/// blocked Next), which then fails with InvalidArgument instead of
+/// hanging.
 class ManifestOrderedShardCursor {
  public:
   /// `stats` may be null. Counts the manifest read and one sequential
@@ -228,60 +285,83 @@ class ManifestOrderedShardCursor {
   ManifestOrderedShardCursor& operator=(const ManifestOrderedShardCursor&) =
       delete;
 
-  /// Opens the manifest and starts prefetching on `pool` (required, must
-  /// outlive the cursor). `max_buffered_shards` caps decoded shards held
-  /// in memory (0 = pool->size() + 1).
+  /// Opens the manifest and starts decoding on `pool` (required, must
+  /// outlive the cursor). `ring` configures block size and byte budget.
   Status Open(const std::string& manifest_path, ThreadPool* pool,
-              uint32_t max_buffered_shards = 0);
+              const BlockRingOptions& ring = BlockRingOptions());
 
   const ShardedAdjacencyManifest& manifest() const { return manifest_; }
   const AdjacencyFileHeader& header() const { return manifest_.header; }
 
-  /// Next record in global order. `rec->neighbors` stays valid until the
-  /// next call.
-  Status Next(VertexRecord* rec, bool* has_next);
+  /// Next record in global order. The view points into the current block
+  /// and stays valid until the next call that crosses a block boundary;
+  /// like every scanner in this library, consume it before advancing.
+  Status Next(VertexRecordView* view, bool* has_next);
 
-  /// Cancels outstanding prefetches, drains the pool job and merges
-  /// per-worker IoStats into the caller's stats. Safe to call twice; the
-  /// destructor calls it.
+  /// Compatibility flavor of Next for VertexRecord consumers (tests and
+  /// generic drains); same lifetime rules.
+  Status Next(VertexRecord* rec, bool* has_next) {
+    return NextRecordFromView(this, rec, has_next);
+  }
+
+  /// Cancels outstanding decodes, drains the pool job and merges
+  /// per-worker IoStats plus the ring counters into the caller's stats.
+  /// Safe to call twice, from the destructor, and from a different thread
+  /// than the consumer's (a concurrently blocked Next wakes with an
+  /// error).
   Status Close();
 
-  /// Largest total of decoded-but-unconsumed shard bytes held at any
+  /// Largest total of decoded-but-unconsumed payload bytes held at any
   /// point (for the memory accounting of algorithms driven by the
-  /// cursor).
+  /// cursor). Bounded by the ring budget, not by shard sizes.
   size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
 
+  /// Blocks published by the decoders so far.
+  uint64_t blocks_decoded() const { return blocks_decoded_; }
+
  private:
-  // One decoded shard: the record stream as flat u32 words
-  // (id, degree, neighbor[degree], ...), validated during decode.
-  struct Slot {
-    std::vector<VertexId> words;
+  // Per-shard stream of published blocks, drained in shard index order.
+  struct ShardStream {
+    std::deque<RecordBlock> blocks;
     Status status;
-    bool ready = false;
+    bool finished = false;  // decoder is done (status is final)
   };
 
   void DecodeShard(uint32_t shard, size_t worker);
+  // Publishes `*block` to the ring (blocking on the byte budget) and
+  // replaces it with a fresh block from the pool. Returns false when the
+  // cursor was cancelled (the block is released, decode must stop).
+  bool PublishBlock(uint32_t shard, RecordBlock* block);
+  void FinishShard(uint32_t shard, Status status);
+  void ReleaseCurrentBlock();
 
   IoStats* stats_;
   std::string manifest_path_;
   ShardedAdjacencyManifest manifest_;
   ThreadPool* pool_ = nullptr;
-  uint32_t window_ = 1;
-  bool open_ = false;
+  size_t block_bytes_ = kDefaultDecodeBlockBytes;
+  size_t max_buffered_bytes_ = 0;
+  RecordBlockPool own_blocks_;
+  RecordBlockPool* blocks_ = nullptr;
+  std::atomic<bool> open_{false};
 
   std::mutex mu_;
-  std::condition_variable ready_cv_;   // consumer waits for a decoded slot
-  std::condition_variable window_cv_;  // workers wait for window headroom
-  std::vector<Slot> slots_;
+  std::condition_variable ready_cv_;  // consumer waits for a block / eof
+  std::condition_variable space_cv_;  // decoders wait for byte headroom
+  std::vector<ShardStream> streams_;
   std::vector<IoStats> worker_io_;
-  uint32_t consume_index_ = 0;  // shard currently being consumed
+  uint32_t consume_shard_ = 0;  // shard currently being consumed
   bool cancel_ = false;
   size_t buffered_bytes_ = 0;
   size_t peak_buffered_bytes_ = 0;
+  std::atomic<uint64_t> blocks_decoded_{0};
 
-  // Consumer-side walk state of the current shard.
-  std::vector<VertexId> current_words_;
-  size_t current_offset_ = 0;
+  std::mutex close_mu_;  // serializes concurrent Close calls
+
+  // Consumer-side walk state of the current block (consumer thread only).
+  RecordBlock current_;
+  size_t current_pos_ = 0;
+  size_t current_bytes_ = 0;
   bool current_loaded_ = false;
 };
 

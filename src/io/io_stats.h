@@ -6,6 +6,7 @@
 #ifndef SEMIS_IO_IO_STATS_H_
 #define SEMIS_IO_IO_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "util/common.h"
@@ -24,6 +25,18 @@ struct IoStats {
   uint64_t sequential_scans = 0;
   /// Number of external-sort merge passes executed.
   uint64_t sort_passes = 0;
+  /// Shard records decoded (every AdjacencyShardReader record; one
+  /// logical pass over a sharded file decodes each record once).
+  uint64_t records_decoded = 0;
+  /// Record blocks published by the block-decode pipeline
+  /// (ManifestOrderedShardCursor).
+  uint64_t blocks_decoded = 0;
+  /// Peak allocated arena capacity of one block ring's pool (high-water
+  /// mark; merged with max, not sum).
+  uint64_t arena_bytes = 0;
+  /// Peak decoded-but-unconsumed payload bytes buffered in the block ring
+  /// (high-water mark; merged with max, not sum).
+  uint64_t peak_buffered_bytes = 0;
 
   /// Logical blocks read given `block_size` (the paper's B).
   uint64_t BlocksRead(uint64_t block_size = kDefaultBlockSize) const {
@@ -43,6 +56,13 @@ struct IoStats {
     files_opened += other.files_opened;
     sequential_scans += other.sequential_scans;
     sort_passes += other.sort_passes;
+    records_decoded += other.records_decoded;
+    blocks_decoded += other.blocks_decoded;
+    // The peak counters describe a high-water mark, not traffic: merging
+    // two stages keeps the larger mark instead of summing.
+    arena_bytes = std::max(arena_bytes, other.arena_bytes);
+    peak_buffered_bytes =
+        std::max(peak_buffered_bytes, other.peak_buffered_bytes);
   }
 
   /// Resets all counters to zero.

@@ -43,8 +43,15 @@ set -e
 [ -s "$work/g.sadjs" ] || fail "shard produced no manifest"
 [ -s "$work/g.sadjs.shard0" ] || fail "shard produced no shard files"
 "$CLI" solve "$work/g.sadj" --algo twok --shards 4 --threads 2 --verify \
-    --out "$work/set_par.txt"
+    --stats --out "$work/set_par.txt" > "$work/solve_par.log" \
+    || fail "parallel solve exited non-zero"
 [ -s "$work/set_par.txt" ] || fail "parallel solve produced an empty list"
+# --stats must surface the block-decode pipeline counters with real
+# (non-zero) decode traffic on the sharded path.
+grep -q "decode pipeline: " "$work/solve_par.log" \
+    || fail "solve --stats printed no decode pipeline line"
+grep -q "block ring     : 0 blocks" "$work/solve_par.log" \
+    && fail "sharded solve --stats reported zero decoded blocks"
 # Determinism contract: thread count must not change the result.
 "$CLI" solve "$work/g.sadj" --algo twok --shards 4 --threads 1 \
     --out "$work/set_seq.txt"

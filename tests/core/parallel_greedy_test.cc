@@ -189,10 +189,41 @@ TEST_F(ParallelGreedyTest, TightBufferWindowStillComplete) {
   ASSERT_OK(RunGreedy(mono, {}, &ref));
   ParallelGreedyOptions opts;
   opts.num_threads = 8;
-  opts.max_buffered_shards = 1;
+  opts.max_buffered_bytes = 1;
   AlgoResult res;
   ASSERT_OK(RunParallelGreedy(manifest, opts, &res));
   EXPECT_EQ(SetToVector(res.in_set), SetToVector(ref.in_set));
+}
+
+// The block path's degenerate geometries: a block smaller than one
+// record's neighbor list, a single-block ring, and a tiny block with a
+// huge budget must all stay byte-identical to the sequential reference.
+TEST_F(ParallelGreedyTest, BlockGeometrySweepStaysByteIdentical) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(6000, 2.0), 48);
+  std::string sorted = Sort(WriteGraphFile(&scratch_, g));
+  std::string manifest = Shard(sorted, 5);
+  AlgoResult ref;
+  std::vector<VState> ref_states;
+  ASSERT_OK(RunGreedyWithStates(sorted, {}, &ref, &ref_states));
+  struct Geometry {
+    size_t block_bytes;
+    size_t max_buffered_bytes;
+  };
+  for (const Geometry& geo : {Geometry{8, 1}, Geometry{8, 1 << 20},
+                              Geometry{4096, 4096}, Geometry{1 << 20, 64}}) {
+    for (uint32_t threads : {2u, 8u}) {
+      ParallelGreedyOptions opts;
+      opts.num_threads = threads;
+      opts.decode_block_bytes = geo.block_bytes;
+      opts.max_buffered_bytes = geo.max_buffered_bytes;
+      AlgoResult res;
+      std::vector<VState> states;
+      ASSERT_OK(RunParallelGreedyWithStates(manifest, opts, &res, &states));
+      EXPECT_EQ(states, ref_states)
+          << "block=" << geo.block_bytes << " budget="
+          << geo.max_buffered_bytes << " threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/generators.h"
@@ -202,11 +205,14 @@ TEST_F(ShardedAdjacencyFileTest, CursorBoundedWindowAndEarlyClose) {
   std::string manifest = NewPath("sharded");
   ASSERT_OK(ShardAdjacencyFile(mono, manifest, 8));
   {
-    // A window of one shard must still drain everything, even with more
-    // workers than slots.
+    // A budget of one byte must still drain everything, even with more
+    // workers than the ring can hold (the starvation override keeps the
+    // consumer's shard publishable).
     ThreadPool pool(4);
     ManifestOrderedShardCursor cursor;
-    ASSERT_OK(cursor.Open(manifest, &pool, /*max_buffered_shards=*/1));
+    BlockRingOptions ring;
+    ring.max_buffered_bytes = 1;
+    ASSERT_OK(cursor.Open(manifest, &pool, ring));
     uint64_t records = 0;
     VertexRecord rec;
     bool has_next = false;
@@ -223,7 +229,9 @@ TEST_F(ShardedAdjacencyFileTest, CursorBoundedWindowAndEarlyClose) {
     // on workers blocked at the window.
     ThreadPool pool(4);
     ManifestOrderedShardCursor cursor;
-    ASSERT_OK(cursor.Open(manifest, &pool, /*max_buffered_shards=*/1));
+    BlockRingOptions ring;
+    ring.max_buffered_bytes = 1;
+    ASSERT_OK(cursor.Open(manifest, &pool, ring));
     VertexRecord rec;
     bool has_next = false;
     ASSERT_OK(cursor.Next(&rec, &has_next));
@@ -266,6 +274,235 @@ TEST_F(ShardedAdjacencyFileTest, CursorRequiresPoolAndRejectsDoubleOpen) {
   ASSERT_OK(cursor.Open(manifest, &pool));
   EXPECT_TRUE(cursor.Open(manifest, &pool).IsInvalidArgument());
   ASSERT_OK(cursor.Close());
+}
+
+// Drains `cursor` through the view API into (id, neighbors).
+std::vector<std::pair<VertexId, std::vector<VertexId>>> DrainCursor(
+    ManifestOrderedShardCursor* cursor) {
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> got;
+  VertexRecordView view;
+  bool has_next = false;
+  while (cursor->Next(&view, &has_next).ok() && has_next) {
+    got.emplace_back(view.id,
+                     std::vector<VertexId>(view.begin(), view.end()));
+  }
+  return got;
+}
+
+// Degenerate block geometry: a block capacity smaller than one record's
+// neighbor list (a star center has degree ~ |V|) must still deliver the
+// exact sequential stream -- the block grows for the oversized record.
+TEST_F(ShardedAdjacencyFileTest, CursorBlockSmallerThanOneRecord) {
+  Graph g = GenerateStar(300);  // center degree 299 >> 8-byte blocks
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 3));
+  auto expected = DrainSharded(manifest);
+  for (size_t budget : {size_t{1}, size_t{1} << 20}) {
+    ThreadPool pool(4);
+    ManifestOrderedShardCursor cursor;
+    BlockRingOptions ring;
+    ring.block_bytes = 8;
+    ring.max_buffered_bytes = budget;
+    ASSERT_OK(cursor.Open(manifest, &pool, ring));
+    EXPECT_EQ(DrainCursor(&cursor), expected) << "budget " << budget;
+    ASSERT_OK(cursor.Close());
+  }
+}
+
+// A single-block ring (the budget admits exactly one block at a time)
+// degenerates to strict hand-over-hand pipelining and must stay
+// byte-identical to the sequential scan.
+TEST_F(ShardedAdjacencyFileTest, CursorSingleBlockRing) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(3000, 2.0), 35);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 6));
+  auto expected = DrainSharded(manifest);
+  ThreadPool pool(3);
+  ManifestOrderedShardCursor cursor;
+  BlockRingOptions ring;
+  ring.block_bytes = 512;
+  ring.max_buffered_bytes = 512;  // one block in flight
+  ASSERT_OK(cursor.Open(manifest, &pool, ring));
+  EXPECT_EQ(DrainCursor(&cursor), expected);
+  ASSERT_OK(cursor.Close());
+  EXPECT_GT(cursor.blocks_decoded(), 1u);
+}
+
+// Empty shards in the MIDDLE of the manifest (the sharding writer only
+// produces trailing empties, but compaction can empty any shard): both
+// the sequential scanner and the cursor must cross them transparently.
+TEST_F(ShardedAdjacencyFileTest, InteriorEmptyShardsYieldSequentialStream) {
+  Graph g = GenerateErdosRenyi(200, 600, 36);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  auto expected = DrainMonolithic(mono);
+  ASSERT_EQ(expected.size(), 200u);
+
+  // Hand-build a 4-shard file: [records 0..99][empty][records 100..199]
+  // [empty] so one empty shard sits inside and one trails.
+  std::string manifest = NewPath("holey");
+  ShardedAdjacencyManifest m;
+  AdjacencyFileScanner probe;
+  ASSERT_OK(probe.Open(mono));
+  m.header = probe.header();
+  ASSERT_OK(probe.Close());
+  m.shards.resize(4);
+  const size_t split = 100;
+  for (uint32_t k = 0; k < 4; ++k) {
+    SequentialFileWriter writer;
+    ASSERT_OK(writer.Open(ShardFilePath(manifest, k)));
+    ASSERT_OK(WriteAdjacencyShardHeader(&writer, k, m.header.num_vertices));
+    const size_t begin = k == 0 ? 0 : (k == 2 ? split : expected.size());
+    const size_t end = k == 0 ? split : (k == 2 ? expected.size() : begin);
+    for (size_t i = begin; i < end; ++i) {
+      ASSERT_OK(writer.AppendU32(expected[i].first));
+      ASSERT_OK(writer.AppendU32(
+          static_cast<uint32_t>(expected[i].second.size())));
+      if (!expected[i].second.empty()) {
+        ASSERT_OK(writer.Append(expected[i].second.data(),
+                                expected[i].second.size() *
+                                    sizeof(VertexId)));
+      }
+      m.shards[k].num_records++;
+      m.shards[k].num_directed_edges += expected[i].second.size();
+    }
+    ASSERT_OK(writer.Close());
+  }
+  ASSERT_OK(WriteShardedAdjacencyManifest(manifest, m));
+
+  EXPECT_EQ(DrainSharded(manifest), expected);
+  for (size_t pool_size : {1u, 2u, 4u}) {
+    ThreadPool pool(pool_size);
+    ManifestOrderedShardCursor cursor;
+    ASSERT_OK(cursor.Open(manifest, &pool));
+    EXPECT_EQ(DrainCursor(&cursor), expected) << "pool " << pool_size;
+    ASSERT_OK(cursor.Close());
+  }
+}
+
+// Close() racing workers blocked on the ring's byte budget (and a
+// consumer mid-scan): must neither hang nor crash, at any pool size, under
+// ASan/TSan-style repetition. The concurrent Next either keeps yielding
+// records or fails cleanly once the cancel lands.
+TEST_F(ShardedAdjacencyFileTest, CursorConcurrentCloseStress) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(3000, 2.0), 37);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 8));
+  for (size_t pool_size : {1u, 2u, 8u}) {
+    for (int rep = 0; rep < 20; ++rep) {
+      ThreadPool pool(pool_size);
+      ManifestOrderedShardCursor cursor;
+      BlockRingOptions ring;
+      ring.block_bytes = 256;
+      ring.max_buffered_bytes = 256;  // keeps decoders parked on space_cv_
+      ASSERT_OK(cursor.Open(manifest, &pool, ring));
+      VertexRecordView view;
+      bool has_next = false;
+      ASSERT_OK(cursor.Next(&view, &has_next));
+      std::atomic<bool> closed{false};
+      std::thread closer([&] {
+        Status s = cursor.Close();
+        EXPECT_TRUE(s.ok()) << s.ToString();
+        closed.store(true);
+      });
+      // Keep consuming into the teeth of the concurrent Close; every
+      // outcome except a hang or a crash is legal.
+      uint64_t drained = 0;
+      while (true) {
+        Status s = cursor.Next(&view, &has_next);
+        if (!s.ok() || !has_next) break;
+        drained++;
+      }
+      closer.join();
+      EXPECT_TRUE(closed.load());
+      ASSERT_OK(cursor.Close());  // idempotent after the race
+      (void)drained;
+    }
+  }
+}
+
+// An abandoned scan must hand the consumer's in-flight block back to an
+// external pool (via destruction or reopen) instead of stranding its
+// warmed arena -- otherwise every early-closed scan erodes the pool's
+// steady-state zero-allocation property.
+TEST_F(ShardedAdjacencyFileTest, ExternalPoolRecyclesAbandonedBlock) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(4000, 2.0), 39);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 4));
+  RecordBlockPool shared_pool;
+  {
+    ThreadPool pool(2);
+    ManifestOrderedShardCursor cursor;
+    BlockRingOptions ring;
+    ring.pool = &shared_pool;
+    ASSERT_OK(cursor.Open(manifest, &pool, ring));
+    VertexRecordView view;
+    bool has_next = false;
+    ASSERT_OK(cursor.Next(&view, &has_next));  // consumer now holds a block
+    ASSERT_TRUE(has_next);
+    ASSERT_OK(cursor.Close());
+  }  // destructor must return the held block to shared_pool
+  const uint64_t created_after_abandon = shared_pool.blocks_created();
+  EXPECT_GT(shared_pool.pooled_capacity_bytes(), 0u);
+
+  // A full second scan over the same pool reuses the recycled arenas.
+  ThreadPool pool(2);
+  ManifestOrderedShardCursor cursor;
+  BlockRingOptions ring;
+  ring.pool = &shared_pool;
+  ASSERT_OK(cursor.Open(manifest, &pool, ring));
+  uint64_t records = 0;
+  VertexRecordView view;
+  bool has_next = false;
+  while (true) {
+    ASSERT_OK(cursor.Next(&view, &has_next));
+    if (!has_next) break;
+    records++;
+  }
+  ASSERT_OK(cursor.Close());
+  EXPECT_EQ(records, g.NumVertices());
+  EXPECT_GE(shared_pool.blocks_created(), created_after_abandon);
+}
+
+TEST_F(ShardedAdjacencyFileTest, CursorCountersSurfaceInIoStats) {
+  Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(20000, 2.0), 38);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 4));
+  IoStats io;
+  ThreadPool pool(2);
+  ManifestOrderedShardCursor cursor(&io);
+  BlockRingOptions ring;
+  ring.block_bytes = 1024;
+  ASSERT_OK(cursor.Open(manifest, &pool, ring));
+  uint64_t records = 0;
+  VertexRecordView view;
+  bool has_next = false;
+  while (true) {
+    ASSERT_OK(cursor.Next(&view, &has_next));
+    if (!has_next) break;
+    records++;
+  }
+  ASSERT_OK(cursor.Close());
+  EXPECT_EQ(records, g.NumVertices());
+  EXPECT_EQ(io.records_decoded, g.NumVertices());
+  EXPECT_GT(io.blocks_decoded, 0u);
+  EXPECT_EQ(io.blocks_decoded, cursor.blocks_decoded());
+  EXPECT_GT(io.arena_bytes, 0u);
+  EXPECT_GT(io.peak_buffered_bytes, 0u);
+  // The ring budget, not the largest shard, bounds the buffering: with
+  // 1 KiB blocks the default budget (plus the bounded overshoot of the
+  // starvation override) stays far below one shard of this graph.
+  uint64_t min_shard_bytes = UINT64_MAX;
+  for (const ShardInfo& s : cursor.manifest().shards) {
+    min_shard_bytes = std::min(
+        min_shard_bytes,
+        (2 * s.num_records + s.num_directed_edges) * sizeof(VertexId));
+  }
+  EXPECT_LT(io.peak_buffered_bytes, min_shard_bytes);
 }
 
 TEST_F(ShardedAdjacencyFileTest, ShardReaderValidatesIndex) {

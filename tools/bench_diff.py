@@ -7,7 +7,7 @@ run's artifact (or, when none exists yet, against the committed
 bench/BENCH_baseline.json seed, in advisory mode).
 
   bench_diff.py --baseline PATH --current PATH [--threshold 0.20]
-                [--advisory] [--summary FILE]
+                [--mem-threshold 0.25] [--advisory] [--summary FILE]
 
 PATH may be a single JSON file or a directory; directories are searched
 recursively for *.json files and every file's "benchmarks" array is
@@ -15,11 +15,18 @@ pooled. Benchmarks are keyed by run name (e.g. "BM_ParallelGreedy/4/
 real_time"); when a capture was taken with --benchmark_repetitions the
 median aggregate is preferred, then the mean, then the raw iteration.
 
+Besides real_time, memory/allocation counters attached to a benchmark
+(names ending in "_bytes" -- peak_buffered_bytes, arena_bytes,
+peak_memory_bytes -- or starting with "allocs") are diffed with their own
+ADVISORY threshold (--mem-threshold): growth past it emits a ::warning
+annotation and a summary row but never fails the gate, since byte
+high-water marks are configuration-sensitive in a way wall time is not.
+
 Exit status: 1 when any benchmark present on both sides regressed by more
 than --threshold (relative real_time), 0 otherwise. --advisory always
 exits 0 (used when the baseline is the committed seed, whose absolute
 numbers come from different hardware). Emits GitHub workflow annotations
-(::error / ::notice) and, with --summary (defaulting to
+(::error / ::notice / ::warning) and, with --summary (defaulting to
 $GITHUB_STEP_SUMMARY), a markdown table.
 """
 
@@ -33,6 +40,20 @@ _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 # Aggregate preference: lower rank wins for the same run name.
 _KIND_RANK = {"median": 0, "mean": 1, "raw": 2}
+
+# Keys of a benchmark entry that are bookkeeping, not user counters.
+_RESERVED_KEYS = {
+    "name", "run_name", "run_type", "family_index", "per_family_instance_index",
+    "repetitions", "repetition_index", "threads", "iterations", "real_time",
+    "cpu_time", "time_unit", "aggregate_name", "aggregate_unit", "label",
+    "error_occurred", "error_message", "items_per_second", "bytes_per_second",
+}
+
+
+def is_memory_counter(key):
+    """True for the counters the memory gate watches: byte high-water
+    marks and allocation counts."""
+    return key.endswith("_bytes") or key.startswith("allocs")
 
 
 def collect_files(path):
@@ -49,11 +70,13 @@ def collect_files(path):
 
 
 def load_benchmarks(path):
-    """Returns ({run_name: real_time_ns}, {errored run_name}) pooled over
-    every capture file. Errored entries (e.g. a SkipWithError from the
-    in-loop determinism assertions) are reported separately so the gate
-    can fail on them -- the binary itself still exits 0."""
-    chosen = {}  # name -> (rank, time_ns)
+    """Returns ({run_name: real_time_ns}, {errored run_name},
+    {run_name: {counter: value}}) pooled over every capture file. Errored
+    entries (e.g. a SkipWithError from the in-loop determinism assertions)
+    are reported separately so the gate can fail on them -- the binary
+    itself still exits 0. The third map holds the memory/allocation
+    counters (is_memory_counter) of the preferred aggregate."""
+    chosen = {}  # name -> (rank, time_ns, {counter: value})
     errored = set()
     for file in collect_files(path):
         try:
@@ -77,11 +100,19 @@ def load_benchmarks(path):
             if unit is None:
                 continue
             time_ns = float(entry["real_time"]) * unit
+            counters = {
+                key: float(value)
+                for key, value in entry.items()
+                if key not in _RESERVED_KEYS and is_memory_counter(key)
+                and isinstance(value, (int, float))
+            }
             rank = _KIND_RANK[kind]
             prev = chosen.get(name)
             if prev is None or rank < prev[0]:
-                chosen[name] = (rank, time_ns)
-    return {name: time_ns for name, (_, time_ns) in chosen.items()}, errored
+                chosen[name] = (rank, time_ns, counters)
+    times = {name: t for name, (_, t, _) in chosen.items()}
+    counters = {name: c for name, (_, _, c) in chosen.items() if c}
+    return times, errored, counters
 
 
 def format_ms(ns):
@@ -97,6 +128,11 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="relative real_time increase that fails the "
                              "run (default 0.20 = 20%%)")
+    parser.add_argument("--mem-threshold", type=float, default=0.25,
+                        help="relative growth of a memory/allocation "
+                             "counter (*_bytes, allocs*) that emits an "
+                             "advisory warning (default 0.25 = 25%%); "
+                             "never fails the run")
     parser.add_argument("--advisory", action="store_true",
                         help="annotate but always exit 0 (seed baselines "
                              "from different hardware)")
@@ -106,8 +142,8 @@ def main():
                              "$GITHUB_STEP_SUMMARY)")
     args = parser.parse_args()
 
-    baseline, _ = load_benchmarks(args.baseline)
-    current, current_errors = load_benchmarks(args.current)
+    baseline, _, baseline_mem = load_benchmarks(args.baseline)
+    current, current_errors, current_mem = load_benchmarks(args.current)
     if not baseline:
         print(f"::warning::bench_diff: no benchmarks in baseline "
               f"{args.baseline}")
@@ -146,6 +182,29 @@ def main():
     for name in only_new:
         print(f"bench_diff: {name} is new (no baseline), "
               f"{format_ms(current[name])}")
+
+    # Memory/allocation counters: advisory only. Byte high-water marks and
+    # allocation counts move with configuration (ring budgets, pool sizes)
+    # rather than hardware noise, so growth is worth a loud warning -- but
+    # they must not wedge the nightly gate the way a timing regression
+    # does.
+    mem_rows = []
+    for name in shared:
+        old_counters = baseline_mem.get(name, {})
+        new_counters = current_mem.get(name, {})
+        for key in sorted(set(old_counters) & set(new_counters)):
+            old, new = old_counters[key], new_counters[key]
+            if old == 0 and new == 0:
+                continue
+            delta = (new - old) / old if old > 0 else float("inf")
+            flagged = delta > args.mem_threshold
+            mem_rows.append((name, key, old, new, delta, flagged))
+            if flagged:
+                grew = (f"{old:,.3g} -> {new:,.3g}" if old > 0
+                        else f"0 -> {new:,.3g}")
+                print(f"::warning::bench memory growth: {name} {key}: "
+                      f"{grew} exceeds {args.mem_threshold:.0%} advisory "
+                      f"threshold")
     # An errored or vanished benchmark is a gate failure, not a skip: the
     # in-loop determinism assertions surface exactly this way, and a
     # silently dropped benchmark would read as "no regression".
@@ -176,6 +235,18 @@ def main():
             for name in only_new:
                 f.write(f"| `{name}` | — | {format_ms(current[name])} "
                         f"| new | |\n")
+            flagged_mem = [row for row in mem_rows if row[5]]
+            if flagged_mem:
+                f.write("\n### memory/allocation counters (advisory, "
+                        f"threshold {args.mem_threshold:.0%})\n\n")
+                f.write("| benchmark | counter | baseline | current "
+                        "| delta |\n")
+                f.write("|---|---|---:|---:|---:|\n")
+                for name, key, old, new, delta, _ in flagged_mem:
+                    shown = ("∞" if delta == float("inf")
+                             else f"{delta:+.1%}")
+                    f.write(f"| `{name}` | `{key}` | {old:,.3g} "
+                            f"| {new:,.3g} | {shown} |\n")
 
     if failures and not args.advisory:
         print(f"bench_diff: FAIL — {len(regressions)} regression(s) over "

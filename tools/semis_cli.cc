@@ -72,7 +72,8 @@ void PrintUsage(std::FILE* to) {
       "  stats    <graph.adj>\n"
       "  bound    <graph.adj>\n"
       "  solve    <graph.adj> [--algo baseline|greedy|onek|twok] "
-      "[--rounds R] [--shards N] [--threads T] [--out set.txt] [--verify]\n"
+      "[--rounds R] [--shards N] [--threads T] [--out set.txt] [--verify] "
+      "[--stats]\n"
       "  cover    <graph.adj> [--out cover.txt]\n"
       "  color    <graph.sadj> [--mis-rounds R]\n"
       "  update   <graph.adj|graph.sadjs> --stream <updates.txt> "
@@ -106,7 +107,8 @@ struct Args {
       } else if (arg.rfind("--", 0) == 0) {
         std::string key = arg.substr(2);
         std::string value;
-        if (key == "verify" || key == "compact") {  // boolean flags
+        if (key == "verify" || key == "compact" ||
+            key == "stats") {  // boolean flags
           value = "1";
         } else if (i + 1 < argc) {
           value = argv[++i];
@@ -324,6 +326,30 @@ int CmdSolve(const Args& args) {
   if (opts.num_shards > 1) {
     std::printf("  sharded pipeline: %u shards, %u threads, split in %.2fs\n",
                 opts.num_shards, opts.num_threads, res.shard_seconds);
+  }
+  if (args.Has("stats")) {
+    // Shard-decode counters, all zero on the unsharded single-file path.
+    // records_decoded spans EVERY shard scan (the greedy cursor pass plus
+    // each swap round's rescans); the block-ring line covers only the
+    // cursor-driven stages, which is why records per block don't divide.
+    const double decode_seconds =
+        res.greedy.seconds + res.swap.seconds > 0.0
+            ? res.greedy.seconds + res.swap.seconds
+            : res.seconds;
+    const double records_per_sec =
+        decode_seconds > 0.0
+            ? static_cast<double>(res.io.records_decoded) / decode_seconds
+            : 0.0;
+    std::printf("  decode pipeline: %llu records over all shard scans "
+                "(%.0f records/s)\n",
+                static_cast<unsigned long long>(res.io.records_decoded),
+                records_per_sec);
+    std::printf("  block ring     : %llu blocks, arena %s, "
+                "peak buffered %s\n",
+                static_cast<unsigned long long>(res.io.blocks_decoded),
+                MemoryTracker::FormatBytes(res.io.arena_bytes).c_str(),
+                MemoryTracker::FormatBytes(
+                    res.io.peak_buffered_bytes).c_str());
   }
   if (args.Has("out")) {
     s = WriteSetText(res.set, args.Get("out"));
@@ -650,7 +676,7 @@ int CmdUnshard(const Args& args) {
   s = writer.Open(args.positional[1], h.num_vertices, h.num_directed_edges,
                   h.max_degree, h.flags);
   if (!s.ok()) return Fail(s);
-  VertexRecord rec;
+  VertexRecordView rec;
   bool has_next = false;
   while (true) {
     s = scanner.Next(&rec, &has_next);
