@@ -136,7 +136,7 @@ void BM_StreamApplyRepair(benchmark::State& state) {
     state.SkipWithError("sharded copy setup failed");
     return;
   }
-  StreamingMisOptions opts;
+  EnginePipelineOptions opts;
   opts.num_threads = threads;
   auto mis = std::make_unique<ShardedStreamingMis>();
   if (!mis->Initialize(manifest, initial, opts).ok()) {
@@ -144,7 +144,7 @@ void BM_StreamApplyRepair(benchmark::State& state) {
     return;
   }
   // The sequential reference consuming the identical stream.
-  StreamingMisOptions mirror_opts;
+  EnginePipelineOptions mirror_opts;
   mirror_opts.num_threads = 1;
   auto mirror = std::make_unique<ShardedStreamingMis>();
   if (!mirror->Initialize(mirror_manifest, mirror_initial, mirror_opts)
@@ -222,7 +222,7 @@ void BM_FromScratchGreedy(benchmark::State& state) {
   for (auto _ : state) {
     AlgoResult res;
     ParallelGreedyOptions opts;
-    opts.num_threads = static_cast<uint32_t>(state.range(0));
+    opts.pipeline.num_threads = static_cast<uint32_t>(state.range(0));
     Status s = RunParallelGreedy(manifest, opts, &res);
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());

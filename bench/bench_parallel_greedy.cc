@@ -97,7 +97,7 @@ void BM_ParallelGreedy(benchmark::State& state) {
   for (auto _ : state) {
     AlgoResult res;
     ParallelGreedyOptions opts;
-    opts.num_threads = threads;
+    opts.pipeline.num_threads = threads;
     Status s = RunParallelGreedy(env.manifest, opts, &res);
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());

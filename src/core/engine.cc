@@ -1,0 +1,383 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/greedy.h"
+#include "core/one_k_swap.h"
+#include "core/parallel_greedy.h"
+#include "core/parallel_swap.h"
+#include "core/two_k_swap.h"
+#include "core/verify.h"
+#include "graph/adjacency_file.h"
+#include "graph/degree_sort.h"
+#include "graph/sharded_adjacency_file.h"
+#include "io/file.h"
+#include "util/timer.h"
+
+namespace semis {
+
+Status MisEngine::IntermediateDir(std::string* dir) {
+  if (inter_dir_.empty()) {
+    if (!options_.scratch_dir.empty()) {
+      inter_dir_ = options_.scratch_dir;
+    } else {
+      SEMIS_RETURN_IF_ERROR(ScratchDir::Create("semis-engine", &scratch_));
+      inter_dir_ = scratch_.path();
+    }
+  }
+  *dir = inter_dir_;
+  return Status::OK();
+}
+
+Status MisEngine::RunShardPipeline(const std::string& manifest_path,
+                                   bool require_degree_sorted,
+                                   SolveResult* res) {
+  ParallelGreedyOptions greedy_opts;
+  greedy_opts.greedy.require_degree_sorted = require_degree_sorted;
+  greedy_opts.pipeline = options_.pipeline;
+  std::vector<VState> greedy_states;
+  SEMIS_RETURN_IF_ERROR(RunParallelGreedyWithStates(
+      manifest_path, greedy_opts, &res->greedy, &greedy_states));
+  const AlgoResult* final_stage = &res->greedy;
+  if (options_.swap != SwapMode::kNone) {
+    ParallelSwapOptions swap_opts;
+    swap_opts.max_rounds = options_.max_swap_rounds;
+    swap_opts.num_threads = options_.pipeline.num_threads;
+    swap_opts.enable_two_k = options_.swap == SwapMode::kTwoK;
+    SEMIS_RETURN_IF_ERROR(RunParallelSwap(manifest_path, greedy_states,
+                                          swap_opts, &res->swap));
+    final_stage = &res->swap;
+  }
+  res->set = final_stage->in_set;
+  res->set_size = final_stage->set_size;
+  return Status::OK();
+}
+
+Status MisEngine::OpenMonolithic(const std::string& adjacency_path) {
+  WallTimer timer;
+  SolveResult res;
+  std::string work_path = adjacency_path;
+  MemoryTracker sort_memory;
+  bool input_sorted = false;
+
+  if (options_.degree_sort) {
+    // The probe reads only the header; it is closed before the (possibly
+    // hours-long) sort so no file handle dangles across the stage, and
+    // its I/O is charged to the aggregate like every other read.
+    {
+      AdjacencyFileScanner probe(&res.io);
+      SEMIS_RETURN_IF_ERROR(probe.Open(adjacency_path));
+      input_sorted = probe.header().IsDegreeSorted();
+      SEMIS_RETURN_IF_ERROR(probe.Close());
+    }
+    if (!input_sorted) {
+      WallTimer sort_timer;
+      std::string dir;
+      SEMIS_RETURN_IF_ERROR(IntermediateDir(&dir));
+      work_path = dir + "/sorted.sadj";
+      DegreeSortOptions sort_opts;
+      sort_opts.memory_budget_bytes = options_.sort_memory_budget_bytes;
+      sort_opts.fan_in = options_.sort_fan_in;
+      sort_opts.stats = &res.io;
+      sort_opts.memory = &sort_memory;
+      SEMIS_RETURN_IF_ERROR(BuildDegreeSortedAdjacencyFile(
+          adjacency_path, work_path, sort_opts));
+      res.sort_seconds = sort_timer.ElapsedSeconds();
+    }
+  } else {
+    // BASELINE order: consume as-is, but still report whether the input
+    // happened to be degree-sorted. The uncharged peek keeps the I/O
+    // accounting byte-identical to the pre-engine pipeline.
+    AdjacencyFileScanner probe;
+    SEMIS_RETURN_IF_ERROR(probe.Open(adjacency_path));
+    input_sorted = probe.header().IsDegreeSorted();
+    SEMIS_RETURN_IF_ERROR(probe.Close());
+  }
+  res.degree_sorted = options_.degree_sort || input_sorted;
+
+  // Sharded pipeline: the (sorted) file is split into shards up front and
+  // BOTH stages run over them -- greedy on the shard-pipelined executor,
+  // swaps on the parallel round executor, which is seeded with greedy's
+  // final state array so the monolithic file is never re-read. Every
+  // stage's result is byte-identical for any num_threads.
+  const bool sharded = options_.pipeline.num_shards > 1;
+  if (sharded) {
+    WallTimer shard_timer;
+    std::string dir;
+    SEMIS_RETURN_IF_ERROR(IntermediateDir(&dir));
+    const std::string manifest_path = dir + "/sharded.sadjs";
+    SEMIS_RETURN_IF_ERROR(ShardAdjacencyFile(
+        work_path, manifest_path, options_.pipeline.num_shards, &res.io));
+    res.shard_seconds = shard_timer.ElapsedSeconds();
+    SEMIS_RETURN_IF_ERROR(RunShardPipeline(
+        manifest_path, /*require_degree_sorted=*/false, &res));
+    manifest_path_ = manifest_path;
+  } else {
+    GreedyOptions greedy_opts;
+    SEMIS_RETURN_IF_ERROR(RunGreedy(work_path, greedy_opts, &res.greedy));
+    const AlgoResult* final_stage = &res.greedy;
+    if (options_.swap == SwapMode::kOneK) {
+      OneKSwapOptions swap_opts;
+      swap_opts.max_rounds = options_.max_swap_rounds;
+      SEMIS_RETURN_IF_ERROR(
+          RunOneKSwap(work_path, res.greedy.in_set, swap_opts, &res.swap));
+      final_stage = &res.swap;
+    } else if (options_.swap == SwapMode::kTwoK) {
+      TwoKSwapOptions swap_opts;
+      swap_opts.max_rounds = options_.max_swap_rounds;
+      SEMIS_RETURN_IF_ERROR(
+          RunTwoKSwap(work_path, res.greedy.in_set, swap_opts, &res.swap));
+      final_stage = &res.swap;
+    }
+    res.set = final_stage->in_set;
+    res.set_size = final_stage->set_size;
+  }
+
+  res.io.MergeFrom(res.greedy.io);
+  res.io.MergeFrom(res.swap.io);
+  res.peak_memory_bytes =
+      std::max({res.greedy.peak_memory_bytes, res.swap.peak_memory_bytes,
+                sort_memory.PeakBytes()});
+
+  if (options_.verify) {
+    VerifyResult vr;
+    SEMIS_RETURN_IF_ERROR(VerifyIndependentSetFile(work_path, res.set, &vr));
+    if (!vr.independent) {
+      return Status::Corruption("solver produced a non-independent set");
+    }
+    if (!vr.maximal) {
+      return Status::Corruption("solver produced a non-maximal set");
+    }
+  }
+
+  res.seconds = timer.ElapsedSeconds();
+  work_path_ = work_path;
+  num_vertices_ = res.set.size();
+  open_result_ = std::move(res);
+  return Status::OK();
+}
+
+Status MisEngine::OpenShardedInternal(const std::string& manifest_path,
+                                      SolveResult* res) {
+  WallTimer timer;
+  ShardedAdjacencyManifest manifest;
+  SEMIS_RETURN_IF_ERROR(
+      ReadShardedAdjacencyManifest(manifest_path, &manifest, &res->io));
+  if (options_.degree_sort && !manifest.header.IsDegreeSorted()) {
+    return Status::InvalidArgument(
+        "sharded input is not degree-sorted and cannot be sorted in place; "
+        "sort before sharding or set degree_sort = false: " + manifest_path);
+  }
+  res->degree_sorted = manifest.header.IsDegreeSorted();
+
+  SEMIS_RETURN_IF_ERROR(RunShardPipeline(
+      manifest_path, /*require_degree_sorted=*/options_.degree_sort, res));
+
+  res->io.MergeFrom(res->greedy.io);
+  res->io.MergeFrom(res->swap.io);
+  res->peak_memory_bytes =
+      std::max(res->greedy.peak_memory_bytes, res->swap.peak_memory_bytes);
+
+  if (options_.verify) {
+    VerifyResult vr;
+    SEMIS_RETURN_IF_ERROR(
+        VerifyIndependentSetShardedFile(manifest_path, res->set, &vr));
+    if (!vr.independent) {
+      return Status::Corruption("solver produced a non-independent set");
+    }
+    if (!vr.maximal) {
+      return Status::Corruption("solver produced a non-maximal set");
+    }
+  }
+
+  res->seconds = timer.ElapsedSeconds();
+  manifest_path_ = manifest_path;
+  num_vertices_ = manifest.header.num_vertices;
+  return Status::OK();
+}
+
+Status MisEngine::Open(const std::string& path) {
+  if (open_) {
+    return Status::InvalidArgument("engine is already open; Close() first");
+  }
+  open_result_ = SolveResult();
+  // Route on the file's magic: a file that CLAIMS to be a manifest but
+  // fails to parse must surface the manifest reader's diagnosis, not a
+  // misleading "not an adjacency file" from the monolithic scanner.
+  bool is_manifest = false;
+  {
+    SequentialFileReader probe;
+    uint32_t magic = 0;
+    if (probe.Open(path).ok() && probe.ReadU32(&magic).ok()) {
+      is_manifest = magic == kShardManifestMagic;
+    }
+  }
+  if (is_manifest) {
+    SolveResult res;
+    SEMIS_RETURN_IF_ERROR(OpenShardedInternal(path, &res));
+    open_result_ = std::move(res);
+  } else {
+    SEMIS_RETURN_IF_ERROR(OpenMonolithic(path));
+  }
+  epoch_ = 1;
+  Install(std::make_shared<const EpochSnapshot>(
+      epoch_, open_result_.set, open_result_.set_size, EpochStats{}));
+  open_ = true;
+  return Status::OK();
+}
+
+Status MisEngine::OpenSharded(const std::string& manifest_path) {
+  if (open_) {
+    return Status::InvalidArgument("engine is already open; Close() first");
+  }
+  open_result_ = SolveResult();
+  SolveResult res;
+  SEMIS_RETURN_IF_ERROR(OpenShardedInternal(manifest_path, &res));
+  open_result_ = std::move(res);
+  epoch_ = 1;
+  Install(std::make_shared<const EpochSnapshot>(
+      epoch_, open_result_.set, open_result_.set_size, EpochStats{}));
+  open_ = true;
+  return Status::OK();
+}
+
+Status MisEngine::OpenSharded(const std::string& manifest_path,
+                              const BitVector& initial_set) {
+  if (open_) {
+    return Status::InvalidArgument("engine is already open; Close() first");
+  }
+  open_result_ = SolveResult();
+  SolveResult res;
+  ShardedAdjacencyManifest manifest;
+  SEMIS_RETURN_IF_ERROR(
+      ReadShardedAdjacencyManifest(manifest_path, &manifest, &res.io));
+  if (initial_set.size() != manifest.header.num_vertices) {
+    return Status::InvalidArgument(
+        "initial set covers " + std::to_string(initial_set.size()) +
+        " vertices but the manifest holds " +
+        std::to_string(manifest.header.num_vertices) + ": " + manifest_path);
+  }
+  res.degree_sorted = manifest.header.IsDegreeSorted();
+  res.set = initial_set;
+  res.set_size = res.set.Count();
+  manifest_path_ = manifest_path;
+  num_vertices_ = manifest.header.num_vertices;
+  open_result_ = std::move(res);
+  epoch_ = 1;
+  Install(std::make_shared<const EpochSnapshot>(
+      epoch_, open_result_.set, open_result_.set_size, EpochStats{}));
+  open_ = true;
+  return Status::OK();
+}
+
+EpochSnapshotRef MisEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return current_;
+}
+
+void MisEngine::Install(EpochSnapshotRef snapshot) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  current_ = std::move(snapshot);
+}
+
+Status MisEngine::Prepare() {
+  if (!open_) {
+    return Status::InvalidArgument("engine is not open");
+  }
+  if (mutant_ != nullptr) return Status::OK();
+  if (manifest_path_.empty()) {
+    // Sequential monolithic open: the mutation arm is shard-native, so
+    // split the consumed file now (1 shard unless configured higher).
+    std::string dir;
+    SEMIS_RETURN_IF_ERROR(IntermediateDir(&dir));
+    const std::string manifest_path = dir + "/sharded.sadjs";
+    SEMIS_RETURN_IF_ERROR(ShardAdjacencyFile(
+        work_path_, manifest_path,
+        std::max<uint32_t>(1, options_.pipeline.num_shards),
+        &open_result_.io));
+    manifest_path_ = manifest_path;
+  }
+  auto mutant = std::make_unique<ShardedStreamingMis>();
+  // The successor starts from the served epoch's set; an existing SDELTA
+  // overlay (a previous session's unfinished stream) is replayed on top.
+  SEMIS_RETURN_IF_ERROR(mutant->Initialize(manifest_path_, Snapshot()->set(),
+                                           options_.pipeline));
+  mutant_ = std::move(mutant);
+  mark_ = PublishedMark{};
+  // A replayed overlay (a previous session's unfinished stream) may have
+  // moved the successor away from the served epoch; make sure the next
+  // Publish() surfaces it even if this session applies nothing itself.
+  if (mutant_->stats().pending_delta_entries > 0 ||
+      mutant_->set_size() != Snapshot()->set_size()) {
+    dirty_ = true;
+  }
+  return Status::OK();
+}
+
+Status MisEngine::ApplyBatch(const std::vector<EdgeUpdate>& updates) {
+  SEMIS_RETURN_IF_ERROR(Prepare());
+  SEMIS_RETURN_IF_ERROR(mutant_->ApplyBatch(updates));
+  pending_batches_ += 1;
+  pending_updates_ += updates.size();
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status MisEngine::Repair() {
+  SEMIS_RETURN_IF_ERROR(Prepare());
+  SEMIS_RETURN_IF_ERROR(mutant_->Repair());
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status MisEngine::Compact(bool force) {
+  SEMIS_RETURN_IF_ERROR(Prepare());
+  // Storage-only: folding the delta never changes the effective graph or
+  // the membership, so the published epoch stays truthful.
+  return mutant_->Compact(force);
+}
+
+EpochSnapshotRef MisEngine::Publish() {
+  if (!open_) return nullptr;
+  if (!dirty_ || mutant_ == nullptr) return Snapshot();
+  const StreamingMisStats& st = mutant_->stats();
+  EpochStats stats;
+  stats.batches = pending_batches_;
+  stats.updates = pending_updates_;
+  stats.repair_passes = st.repair_passes - mark_.repair_passes;
+  stats.repair_added = st.repair_added - mark_.repair_added;
+  stats.apply_seconds = st.apply_seconds - mark_.apply_seconds;
+  stats.repair_seconds = st.repair_seconds - mark_.repair_seconds;
+  epoch_ += 1;
+  auto snapshot = std::make_shared<const EpochSnapshot>(
+      epoch_, mutant_->set(), mutant_->set_size(), stats);
+  Install(snapshot);
+  mark_.repair_passes = st.repair_passes;
+  mark_.repair_added = st.repair_added;
+  mark_.apply_seconds = st.apply_seconds;
+  mark_.repair_seconds = st.repair_seconds;
+  pending_batches_ = 0;
+  pending_updates_ = 0;
+  dirty_ = false;
+  return snapshot;
+}
+
+Status MisEngine::Close() {
+  mutant_.reset();
+  Install(nullptr);
+  open_ = false;
+  epoch_ = 0;
+  pending_batches_ = 0;
+  pending_updates_ = 0;
+  dirty_ = false;
+  mark_ = PublishedMark{};
+  work_path_.clear();
+  manifest_path_.clear();
+  num_vertices_ = 0;
+  inter_dir_.clear();
+  scratch_.Remove();
+  return Status::OK();
+}
+
+}  // namespace semis

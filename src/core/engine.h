@@ -1,0 +1,314 @@
+// Copyright (c) the semis authors.
+// MisEngine: the resident form of the pipeline. One object owns the full
+// open -> serve -> mutate -> republish lifecycle over a graph snapshot:
+//
+//   Open()       loads a SADJ file or SADJS manifest, runs the solve
+//                pipeline (sort -> shard -> greedy -> swaps, exactly the
+//                stages Solver used to wire inline), and publishes the
+//                result as epoch 1.
+//   Snapshot()   hands out an immutable, refcounted view of the current
+//                epoch (solution bit-vector + |IS| + per-epoch stats).
+//                Readers on any thread query it without ever blocking on
+//                mutation; an epoch retires when its last reader drops
+//                the reference (RCU via shared_ptr).
+//   ApplyBatch() / Repair() / Compact()
+//                run the ShardedStreamingMis machinery against a private
+//                successor state. Published epochs are never touched.
+//   Publish()    freezes the successor into a new epoch and atomically
+//                swaps it in as the current snapshot.
+//
+// Solver::SolveFile / Solver::SolveShardedFile are thin wrappers over
+// Open() + open_result(); semis_cli's `update` and `engine` subcommands
+// drive the full lifecycle.
+//
+// Threading contract: Snapshot() (and the views it returns) may be used
+// concurrently from any number of threads. The mutating calls -- Open,
+// Prepare, ApplyBatch, Repair, Compact, Publish, Close -- must be
+// externally serialized (one mutator at a time); they are safe to run
+// concurrently WITH readers. Snapshot() acquires the publication mutex
+// only for the duration of one pointer copy, and no mutating call holds
+// that mutex across I/O or compute, so a snapshot never waits on an
+// in-flight repair.
+//
+// Determinism: every published epoch inherits the byte-identical
+// contract of the underlying executors -- for a fixed input and update
+// script the epoch sequence is identical for every shard/thread count,
+// and 1 thread equals the sequential path.
+#ifndef SEMIS_CORE_ENGINE_H_
+#define SEMIS_CORE_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/incremental_stream.h"
+#include "core/mis_common.h"
+#include "core/pipeline_options.h"
+#include "io/scratch.h"
+#include "util/bit_vector.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Which swap stage to run after the initial greedy scan.
+enum class SwapMode {
+  kNone,  // greedy / baseline only
+  kOneK,  // Algorithm 2
+  kTwoK,  // Algorithms 3-4
+};
+
+/// Configuration of a MisEngine (and, via the SolverOptions alias, of a
+/// Solver -- the solver facade is a one-shot view of the same pipeline).
+struct MisEngineOptions {
+  /// Degree-sort a monolithic input before the greedy scan (paper
+  /// GREEDY). When false the file is consumed as-is (paper BASELINE).
+  /// Sharded input cannot be sorted in place, so there degree_sort
+  /// demands the manifest's degree-sorted flag instead of sorting.
+  bool degree_sort = true;
+  /// Swap stage of the open-time solve.
+  SwapMode swap = SwapMode::kTwoK;
+  /// Early-stop cap on swap rounds (0 = converge; Table 8 uses 1..3).
+  uint32_t max_swap_rounds = 0;
+  /// Memory budget of the preprocessing sort (the paper's M).
+  size_t sort_memory_budget_bytes = 64ull << 20;
+  /// Merge fan-in of the preprocessing sort.
+  size_t sort_fan_in = 16;
+  /// Directory for intermediate artifacts -- the sorted copy and, on a
+  /// monolithic open, the shard files ("" = a private temp dir owned by
+  /// the engine until Close).
+  std::string scratch_dir;
+  /// Re-scan the graph after the open-time solve and fail on a
+  /// non-independent or non-maximal result (paranoid mode).
+  bool verify = false;
+  /// Shard/thread/buffering knobs shared with every executor layer.
+  EnginePipelineOptions pipeline;
+};
+
+/// Everything the open-time solve produced (identical to what the
+/// one-shot Solver returns -- the solver IS this pipeline).
+struct SolveResult {
+  /// The independent set (bit per vertex id).
+  BitVector set;
+  /// Number of vertices in the set.
+  uint64_t set_size = 0;
+  /// Stage results (swap untouched when SwapMode::kNone).
+  AlgoResult greedy;
+  AlgoResult swap;
+  /// Seconds spent in the preprocessing sort (0 when skipped).
+  double sort_seconds = 0.0;
+  /// Seconds spent splitting the file into shards (0 when not sharding).
+  double shard_seconds = 0.0;
+  /// Aggregated I/O over all stages (sort + shard + greedy + swaps).
+  IoStats io;
+  /// Peak logical memory over all stages, including the preprocessing
+  /// sort's run buffer and merge cursors.
+  size_t peak_memory_bytes = 0;
+  /// Total wall-clock seconds.
+  double seconds = 0.0;
+  /// Whether the records actually consumed were degree-sorted: the
+  /// manifest flag on sharded input, the (post-sort) header flag on
+  /// monolithic input. False means Algorithm 1 ran in BASELINE order --
+  /// on a manifest this can happen silently after a compaction cleared
+  /// the flag, so callers surface it (semis_cli warns on stderr).
+  bool degree_sorted = false;
+};
+
+/// Per-epoch deltas: what happened between the previous publication and
+/// the one that created this epoch. Epoch 1 (the open-time solve) has
+/// all-zero deltas; its cost lives in MisEngine::open_result().
+struct EpochStats {
+  /// ApplyBatch() calls and the updates they carried.
+  uint64_t batches = 0;
+  uint64_t updates = 0;
+  /// Repair() passes folded into this epoch and the vertices they
+  /// re-added.
+  uint64_t repair_passes = 0;
+  uint64_t repair_added = 0;
+  /// Wall-clock seconds spent applying and repairing for this epoch.
+  double apply_seconds = 0.0;
+  double repair_seconds = 0.0;
+};
+
+/// One published epoch: an immutable view of the solution at a
+/// publication point. Refcounted -- hold the shared_ptr as long as the
+/// view is needed; the epoch's memory retires when the last holder (or
+/// the engine, on the next Publish) drops it.
+class EpochSnapshot {
+ public:
+  EpochSnapshot(uint64_t epoch, BitVector set, uint64_t set_size,
+                EpochStats stats)
+      : epoch_(epoch),
+        set_(std::move(set)),
+        set_size_(set_size),
+        stats_(stats) {}
+
+  /// Publication counter: 1 for the open-time solve, +1 per Publish().
+  uint64_t epoch() const { return epoch_; }
+  /// The independent set of this epoch (bit per vertex id).
+  const BitVector& set() const { return set_; }
+  /// |set|.
+  uint64_t set_size() const { return set_size_; }
+  /// Membership query (false for out-of-range ids).
+  bool Contains(VertexId v) const {
+    return v < set_.size() && set_.Test(v);
+  }
+  /// What this epoch absorbed since the previous one.
+  const EpochStats& stats() const { return stats_; }
+
+ private:
+  uint64_t epoch_;
+  BitVector set_;
+  uint64_t set_size_;
+  EpochStats stats_;
+};
+
+using EpochSnapshotRef = std::shared_ptr<const EpochSnapshot>;
+
+/// The resident engine. See the file comment for the lifecycle and the
+/// threading contract. Not copyable or movable (readers may hold the
+/// publication mutex's address across the object's lifetime).
+class MisEngine {
+ public:
+  explicit MisEngine(MisEngineOptions options)
+      : options_(std::move(options)) {}
+
+  MisEngine(const MisEngine&) = delete;
+  MisEngine& operator=(const MisEngine&) = delete;
+
+  /// Opens `path` -- a SADJS manifest (detected by magic) or a SADJ
+  /// monolithic file -- runs the solve pipeline on it, and publishes the
+  /// result as epoch 1. Monolithic input is degree-sorted (when
+  /// configured and needed) and, with pipeline.num_shards > 1, split
+  /// into shards first; both intermediates live in the engine's scratch
+  /// directory until Close.
+  Status Open(const std::string& path);
+
+  /// As Open but the input must be a SADJS manifest: any other file
+  /// fails with the manifest reader's diagnosis instead of falling
+  /// through to the monolithic path. This is the Solver::SolveShardedFile
+  /// contract (and the `update` subcommand's entry point).
+  Status OpenSharded(const std::string& manifest_path);
+
+  /// Binds to a SADJS manifest WITHOUT solving: `initial_set` (an
+  /// independent set over the manifest's base graph, e.g. a previous
+  /// session's output) becomes epoch 1 as-is. open_result() holds only
+  /// the adopted set.
+  Status OpenSharded(const std::string& manifest_path,
+                     const BitVector& initial_set);
+
+  /// True between a successful Open and Close.
+  bool is_open() const { return open_; }
+
+  /// The current epoch. Never blocks on mutation; never returns a
+  /// partially-published epoch. Null only before Open / after Close.
+  EpochSnapshotRef Snapshot() const;
+
+  /// Eagerly materializes the mutation arm: binds ShardedStreamingMis to
+  /// the manifest (sharding a sequential monolithic open first) and
+  /// replays any existing SDELTA overlay on top of the current epoch's
+  /// set. Called implicitly by the first mutating call; explicit use
+  /// fronts the bind cost and surfaces replayed overlay state early.
+  /// NOTE: a replayed overlay advances only the private successor state;
+  /// the published epoch still shows the base-graph set until the next
+  /// Publish().
+  Status Prepare();
+
+  /// Applies one batch of edge updates to the private successor state
+  /// (eager eviction + durable delta logging, ShardedStreamingMis
+  /// semantics). Published epochs are unaffected until Publish().
+  Status ApplyBatch(const std::vector<EdgeUpdate>& updates);
+
+  /// Restores maximality of the successor state with one merged pass
+  /// over base shards + delta. Safe to run while readers hold snapshots.
+  Status Repair();
+
+  /// Folds saturated (or, with `force`, all pending) shard deltas into
+  /// the base files. Storage-only: the successor's effective graph and
+  /// set are unchanged, so no new epoch is implied.
+  Status Compact(bool force = false);
+
+  /// Freezes the successor state into a new epoch and atomically swaps
+  /// it in as the current snapshot; the previous epoch retires when its
+  /// last reader drops. Per-epoch stats carry the apply/repair deltas
+  /// since the previous publication. A no-op (returning the current
+  /// epoch) when nothing was mutated since the last publication.
+  EpochSnapshotRef Publish();
+
+  /// Updates applied to the successor state since the last Publish() --
+  /// how stale the served epoch is.
+  uint64_t staleness() const { return pending_updates_; }
+
+  /// What the open-time solve produced (Solver's result object).
+  const SolveResult& open_result() const { return open_result_; }
+
+  /// Cumulative streaming-session stats, or null before the mutation arm
+  /// is materialized (see Prepare).
+  const StreamingMisStats* streaming_stats() const {
+    return mutant_ == nullptr ? nullptr : &mutant_->stats();
+  }
+
+  /// The SADJS manifest backing the mutation arm: the opened manifest,
+  /// the engine-sharded copy for monolithic opens, or "" while a
+  /// sequential monolithic open has not been sharded yet.
+  const std::string& manifest_path() const { return manifest_path_; }
+
+  /// Drops the mutation arm and the current epoch (outstanding snapshot
+  /// references stay valid) and releases the scratch directory. The
+  /// engine can be reopened.
+  Status Close();
+
+ private:
+  // Lazily creates the intermediate-artifact directory.
+  Status IntermediateDir(std::string* dir);
+  // The deduplicated shard pipeline shared by every sharded open: greedy
+  // on the shard-pipelined executor seeded into the parallel round
+  // executor. `require_degree_sorted` gates the manifest flag with the
+  // same error text as the monolithic path.
+  Status RunShardPipeline(const std::string& manifest_path,
+                          bool require_degree_sorted, SolveResult* res);
+  // The monolithic pipeline: optional sort, then either the shard
+  // pipeline (pipeline.num_shards > 1) or the sequential greedy + swap.
+  Status OpenMonolithic(const std::string& adjacency_path);
+  // Shared tail of every sharded open (flag check, pipeline, verify).
+  Status OpenShardedInternal(const std::string& manifest_path,
+                             SolveResult* res);
+  // Swaps `snapshot` in as the current epoch.
+  void Install(EpochSnapshotRef snapshot);
+  // Stats of the successor session at the last publication, for
+  // computing per-epoch deltas.
+  struct PublishedMark {
+    uint64_t repair_passes = 0;
+    uint64_t repair_added = 0;
+    double apply_seconds = 0.0;
+    double repair_seconds = 0.0;
+  };
+
+  MisEngineOptions options_;
+  bool open_ = false;
+  // Intermediates (sorted copy, engine-side shards) live here so they
+  // outlive Open when the engine stays resident.
+  ScratchDir scratch_;
+  std::string inter_dir_;
+  // The consumed monolithic file (input or sorted copy); "" on a
+  // manifest open.
+  std::string work_path_;
+  std::string manifest_path_;
+  SolveResult open_result_;
+  uint64_t num_vertices_ = 0;
+  // The mutation arm, materialized on first use.
+  std::unique_ptr<ShardedStreamingMis> mutant_;
+  // Pending (unpublished) mutation bookkeeping.
+  uint64_t pending_batches_ = 0;
+  uint64_t pending_updates_ = 0;
+  bool dirty_ = false;
+  PublishedMark mark_;
+  uint64_t epoch_ = 0;
+  // Guards only `current_`; held for pointer copies, never across I/O.
+  mutable std::mutex publish_mu_;
+  EpochSnapshotRef current_;
+};
+
+}  // namespace semis
+
+#endif  // SEMIS_CORE_ENGINE_H_

@@ -19,7 +19,7 @@ constexpr size_t kHashSlotBytes = 4 * sizeof(uint64_t);
 
 Status ShardedStreamingMis::Initialize(const std::string& manifest_path,
                                        const BitVector& initial_set,
-                                       const StreamingMisOptions& options) {
+                                       const EnginePipelineOptions& options) {
   SEMIS_RETURN_IF_ERROR(
       ReadShardedAdjacencyManifest(manifest_path, &manifest_, &stats_.io));
   if (manifest_.header.num_vertices != initial_set.size()) {

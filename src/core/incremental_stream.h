@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/pipeline_options.h"
 #include "graph/sharded_adjacency_file.h"
 #include "io/edge_delta_file.h"
 #include "io/io_stats.h"
@@ -61,27 +62,6 @@ struct EdgeUpdate {
   static EdgeUpdate Delete(VertexId u, VertexId v) {
     return {EdgeDeltaOp::kDelete, u, v};
   }
-};
-
-/// Configuration of the streaming maintainer.
-struct StreamingMisOptions {
-  /// Worker threads decoding shards ahead of the Repair commit scan
-  /// (0 = hardware concurrency). The repaired set is independent of this
-  /// value by construction; <= 1 runs the plain sequential scan.
-  uint32_t num_threads = 1;
-  /// Payload bytes per decode block of the Repair pipeline's block ring
-  /// (0 = kDefaultDecodeBlockBytes), as in ParallelGreedyOptions.
-  size_t decode_block_bytes = 0;
-  /// Byte budget of decoded-but-unconsumed records buffered ahead of the
-  /// Repair commit scan (0 = 2 * block bytes * (threads + 1)), as in
-  /// ParallelGreedyOptions. The repaired set is independent of both knobs
-  /// by construction.
-  size_t max_buffered_bytes = 0;
-  /// A shard whose delta log reaches this many live entries is saturated:
-  /// the next Compact() (or the automatic one at the end of ApplyBatch)
-  /// rewrites it and truncates its log. 0 disables automatic compaction;
-  /// Compact(/*force=*/true) still compacts everything.
-  uint64_t compact_threshold_entries = 0;
 };
 
 /// Statistics of a streaming session (cumulative since Initialize).
@@ -133,9 +113,16 @@ class ShardedStreamingMis {
   /// mid-stream the replayed membership may lag it -- it is still
   /// independent w.r.t. the updated graph, and the next Repair() restores
   /// maximality.
+  ///
+  /// `options` is the shared pipeline struct: this layer reads
+  /// `num_threads` / `decode_block_bytes` / `max_buffered_bytes` (the
+  /// Repair pipeline, as in ParallelGreedyOptions -- the repaired set is
+  /// independent of all three by construction) and
+  /// `compact_threshold_entries`; `num_shards` is ignored (the manifest
+  /// fixes it).
   Status Initialize(const std::string& manifest_path,
                     const BitVector& initial_set,
-                    const StreamingMisOptions& options);
+                    const EnginePipelineOptions& options);
 
   /// Applies a batch of updates in order: eager eviction, delta-state
   /// bookkeeping, and routing to the shard logs (flushed, with the delta
@@ -216,7 +203,7 @@ class ShardedStreamingMis {
   std::string manifest_path_;
   std::string delta_path_;
   ShardedAdjacencyManifest manifest_;
-  StreamingMisOptions options_;
+  EnginePipelineOptions options_;
   uint64_t n_ = 0;
   // Shard holding each vertex's base record (records are permuted by the
   // degree sort, so this is not derivable from the id). kMaxAdjacencyShards

@@ -15,7 +15,7 @@ Status RunParallelGreedyWithStates(const std::string& manifest_path,
   WallTimer timer;
   AlgoResult res;
 
-  uint32_t num_threads = options.num_threads;
+  uint32_t num_threads = options.pipeline.num_threads;
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
@@ -33,8 +33,8 @@ Status RunParallelGreedyWithStates(const std::string& manifest_path,
     ThreadPool pool(num_threads);
     ManifestOrderedShardCursor cursor(&res.io);
     BlockRingOptions ring;
-    ring.block_bytes = options.decode_block_bytes;
-    ring.max_buffered_bytes = options.max_buffered_bytes;
+    ring.block_bytes = options.pipeline.decode_block_bytes;
+    ring.max_buffered_bytes = options.pipeline.max_buffered_bytes;
     SEMIS_RETURN_IF_ERROR(cursor.Open(manifest_path, &pool, ring));
     SEMIS_RETURN_IF_ERROR(
         RunGreedyScan(&cursor, manifest_path, options.greedy, &res, &state));

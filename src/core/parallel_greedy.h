@@ -20,6 +20,7 @@
 
 #include "core/greedy.h"
 #include "core/mis_common.h"
+#include "core/pipeline_options.h"
 #include "util/status.h"
 
 namespace semis {
@@ -30,18 +31,11 @@ struct ParallelGreedyOptions {
   /// enforced against the SADJS manifest flags, with the same error as
   /// the monolithic path).
   GreedyOptions greedy;
-  /// Decoder threads prefetching shards (0 = hardware concurrency).
-  /// The result is independent of this value by construction.
-  uint32_t num_threads = 1;
-  /// Payload bytes per decode block of the cursor's block ring
-  /// (0 = kDefaultDecodeBlockBytes). The result is independent of this
-  /// value by construction.
-  size_t decode_block_bytes = 0;
-  /// Byte budget of decoded-but-unconsumed records buffered ahead of the
-  /// commit scan (0 = 2 * block bytes * (threads + 1)). Bounds the
-  /// pipeline's extra memory regardless of shard sizes; the result is
-  /// independent of this value by construction.
-  size_t max_buffered_bytes = 0;
+  /// Shared pipeline knobs. This executor reads `num_threads` (decoder
+  /// threads prefetching shards), `decode_block_bytes`, and
+  /// `max_buffered_bytes`; the manifest fixes the shard count, so
+  /// `num_shards` is ignored.
+  EnginePipelineOptions pipeline;
 };
 
 /// Runs Algorithm 1 over the sharded adjacency file rooted at

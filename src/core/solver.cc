@@ -1,188 +1,28 @@
 #include "core/solver.h"
 
-#include <algorithm>
-
-#include "core/greedy.h"
-#include "core/one_k_swap.h"
-#include "core/parallel_greedy.h"
-#include "core/parallel_swap.h"
-#include "core/two_k_swap.h"
-#include "core/verify.h"
-#include "graph/adjacency_file.h"
-#include "graph/degree_sort.h"
 #include "graph/graph_io.h"
-#include "graph/sharded_adjacency_file.h"
 #include "io/scratch.h"
-#include "util/timer.h"
 
 namespace semis {
 
+// Both entry points are one-shot engine sessions: Open runs the full
+// stage pipeline (the code that used to live here, deduplicated into
+// MisEngine::RunShardPipeline and friends) and the result is copied out
+// before the engine -- and its scratch intermediates -- are torn down.
+
 Status Solver::SolveFile(const std::string& adjacency_path,
                          SolveResult* result) {
-  WallTimer timer;
-  SolveResult res;
-  ScratchDir scratch;
-  std::string work_path = adjacency_path;
-  MemoryTracker sort_memory;
-
-  // Directory for intermediate artifacts (sorted copy, shard files),
-  // created lazily on first use.
-  std::string inter_dir = options_.scratch_dir;
-  auto intermediate_dir = [&]() -> Status {
-    if (inter_dir.empty()) {
-      SEMIS_RETURN_IF_ERROR(ScratchDir::Create("semis-solver", &scratch));
-      inter_dir = scratch.path();
-    }
-    return Status::OK();
-  };
-
-  if (options_.degree_sort) {
-    // The probe reads only the header; it is closed before the (possibly
-    // hours-long) sort so no file handle dangles across the stage, and
-    // its I/O is charged to the aggregate like every other read.
-    bool needs_sort = false;
-    {
-      AdjacencyFileScanner probe(&res.io);
-      SEMIS_RETURN_IF_ERROR(probe.Open(adjacency_path));
-      needs_sort = !probe.header().IsDegreeSorted();
-      SEMIS_RETURN_IF_ERROR(probe.Close());
-    }
-    if (needs_sort) {
-      WallTimer sort_timer;
-      SEMIS_RETURN_IF_ERROR(intermediate_dir());
-      work_path = inter_dir + "/sorted.sadj";
-      DegreeSortOptions sort_opts;
-      sort_opts.memory_budget_bytes = options_.sort_memory_budget_bytes;
-      sort_opts.fan_in = options_.sort_fan_in;
-      sort_opts.stats = &res.io;
-      sort_opts.memory = &sort_memory;
-      SEMIS_RETURN_IF_ERROR(BuildDegreeSortedAdjacencyFile(
-          adjacency_path, work_path, sort_opts));
-      res.sort_seconds = sort_timer.ElapsedSeconds();
-    }
-  }
-
-  // Sharded pipeline: the (sorted) file is split into shards up front and
-  // BOTH stages run over them -- greedy on the shard-pipelined executor,
-  // swaps on the parallel round executor, which is seeded with greedy's
-  // final state array so the monolithic file is never re-read. Every
-  // stage's result is byte-identical for any num_threads.
-  const bool sharded = options_.num_shards > 1;
-  const AlgoResult* final_stage = &res.greedy;
-  if (sharded) {
-    WallTimer shard_timer;
-    SEMIS_RETURN_IF_ERROR(intermediate_dir());
-    const std::string manifest_path = inter_dir + "/sharded.sadjs";
-    SEMIS_RETURN_IF_ERROR(ShardAdjacencyFile(work_path, manifest_path,
-                                             options_.num_shards, &res.io));
-    res.shard_seconds = shard_timer.ElapsedSeconds();
-    ParallelGreedyOptions greedy_opts;
-    greedy_opts.num_threads = options_.num_threads;
-    std::vector<VState> greedy_states;
-    SEMIS_RETURN_IF_ERROR(RunParallelGreedyWithStates(
-        manifest_path, greedy_opts, &res.greedy, &greedy_states));
-    if (options_.swap != SwapMode::kNone) {
-      ParallelSwapOptions swap_opts;
-      swap_opts.max_rounds = options_.max_swap_rounds;
-      swap_opts.num_threads = options_.num_threads;
-      swap_opts.enable_two_k = options_.swap == SwapMode::kTwoK;
-      SEMIS_RETURN_IF_ERROR(RunParallelSwap(manifest_path, greedy_states,
-                                            swap_opts, &res.swap));
-      final_stage = &res.swap;
-    }
-  } else {
-    GreedyOptions greedy_opts;
-    SEMIS_RETURN_IF_ERROR(RunGreedy(work_path, greedy_opts, &res.greedy));
-    if (options_.swap == SwapMode::kOneK) {
-      OneKSwapOptions swap_opts;
-      swap_opts.max_rounds = options_.max_swap_rounds;
-      SEMIS_RETURN_IF_ERROR(
-          RunOneKSwap(work_path, res.greedy.in_set, swap_opts, &res.swap));
-      final_stage = &res.swap;
-    } else if (options_.swap == SwapMode::kTwoK) {
-      TwoKSwapOptions swap_opts;
-      swap_opts.max_rounds = options_.max_swap_rounds;
-      SEMIS_RETURN_IF_ERROR(
-          RunTwoKSwap(work_path, res.greedy.in_set, swap_opts, &res.swap));
-      final_stage = &res.swap;
-    }
-  }
-
-  res.set = final_stage->in_set;
-  res.set_size = final_stage->set_size;
-  res.io.MergeFrom(res.greedy.io);
-  res.io.MergeFrom(res.swap.io);
-  res.peak_memory_bytes =
-      std::max({res.greedy.peak_memory_bytes, res.swap.peak_memory_bytes,
-                sort_memory.PeakBytes()});
-
-  if (options_.verify) {
-    VerifyResult vr;
-    SEMIS_RETURN_IF_ERROR(VerifyIndependentSetFile(work_path, res.set, &vr));
-    if (!vr.independent) {
-      return Status::Corruption("solver produced a non-independent set");
-    }
-    if (!vr.maximal) {
-      return Status::Corruption("solver produced a non-maximal set");
-    }
-  }
-
-  res.seconds = timer.ElapsedSeconds();
-  *result = std::move(res);
+  MisEngine engine(options_);
+  SEMIS_RETURN_IF_ERROR(engine.Open(adjacency_path));
+  *result = engine.open_result();
   return Status::OK();
 }
 
 Status Solver::SolveShardedFile(const std::string& manifest_path,
                                 SolveResult* result) {
-  WallTimer timer;
-  SolveResult res;
-  ShardedAdjacencyManifest manifest;
-  SEMIS_RETURN_IF_ERROR(
-      ReadShardedAdjacencyManifest(manifest_path, &manifest, &res.io));
-  if (options_.degree_sort && !manifest.header.IsDegreeSorted()) {
-    return Status::InvalidArgument(
-        "sharded input is not degree-sorted and cannot be sorted in place; "
-        "sort before sharding or set degree_sort = false: " + manifest_path);
-  }
-
-  ParallelGreedyOptions greedy_opts;
-  greedy_opts.greedy.require_degree_sorted = options_.degree_sort;
-  greedy_opts.num_threads = options_.num_threads;
-  std::vector<VState> greedy_states;
-  SEMIS_RETURN_IF_ERROR(RunParallelGreedyWithStates(
-      manifest_path, greedy_opts, &res.greedy, &greedy_states));
-  const AlgoResult* final_stage = &res.greedy;
-  if (options_.swap != SwapMode::kNone) {
-    ParallelSwapOptions swap_opts;
-    swap_opts.max_rounds = options_.max_swap_rounds;
-    swap_opts.num_threads = options_.num_threads;
-    swap_opts.enable_two_k = options_.swap == SwapMode::kTwoK;
-    SEMIS_RETURN_IF_ERROR(
-        RunParallelSwap(manifest_path, greedy_states, swap_opts, &res.swap));
-    final_stage = &res.swap;
-  }
-
-  res.set = final_stage->in_set;
-  res.set_size = final_stage->set_size;
-  res.io.MergeFrom(res.greedy.io);
-  res.io.MergeFrom(res.swap.io);
-  res.peak_memory_bytes =
-      std::max(res.greedy.peak_memory_bytes, res.swap.peak_memory_bytes);
-
-  if (options_.verify) {
-    VerifyResult vr;
-    SEMIS_RETURN_IF_ERROR(
-        VerifyIndependentSetShardedFile(manifest_path, res.set, &vr));
-    if (!vr.independent) {
-      return Status::Corruption("solver produced a non-independent set");
-    }
-    if (!vr.maximal) {
-      return Status::Corruption("solver produced a non-maximal set");
-    }
-  }
-
-  res.seconds = timer.ElapsedSeconds();
-  *result = std::move(res);
+  MisEngine engine(options_);
+  SEMIS_RETURN_IF_ERROR(engine.OpenSharded(manifest_path));
+  *result = engine.open_result();
   return Status::OK();
 }
 

@@ -1,82 +1,29 @@
 // Copyright (c) the semis authors.
-// End-to-end pipeline: this is the public entry point a downstream user
-// calls. It wires the paper's stages together:
-//   [optional] degree-sort preprocessing  (Section 4.1)
-//   greedy / baseline initial set         (Algorithm 1)
-//   [optional] one-k-swap or two-k-swap   (Algorithms 2-4)
-//   [optional] streaming verification
+// One-shot facade over the pipeline: this is the entry point a
+// downstream user calls for a single solve. Since the engine refactor
+// the stages themselves -- degree-sort preprocessing (Section 4.1),
+// greedy/baseline initial set (Algorithm 1), the optional swap stage
+// (Algorithms 2-4), and streaming verification -- live in
+// core/engine.h's MisEngine; a Solver is a throwaway engine that opens,
+// copies out the open-time result, and closes. Callers that want to stay
+// resident (serve membership queries, absorb update batches) should hold
+// a MisEngine directly.
 #ifndef SEMIS_CORE_SOLVER_H_
 #define SEMIS_CORE_SOLVER_H_
 
 #include <string>
+#include <utility>
 
-#include "core/mis_common.h"
+#include "core/engine.h"
 #include "graph/graph.h"
-#include "util/bit_vector.h"
 #include "util/status.h"
 
 namespace semis {
 
-/// Which swap stage to run after the initial greedy scan.
-enum class SwapMode {
-  kNone,  // greedy / baseline only
-  kOneK,  // Algorithm 2
-  kTwoK,  // Algorithms 3-4
-};
-
-/// Configuration of a Solver.
-struct SolverOptions {
-  /// Degree-sort the input before the greedy scan (paper GREEDY). When
-  /// false the file is consumed as-is (paper BASELINE).
-  bool degree_sort = true;
-  /// Swap stage.
-  SwapMode swap = SwapMode::kTwoK;
-  /// Early-stop cap on swap rounds (0 = converge; Table 8 uses 1..3).
-  uint32_t max_swap_rounds = 0;
-  /// Memory budget of the preprocessing sort (the paper's M).
-  size_t sort_memory_budget_bytes = 64ull << 20;
-  /// Merge fan-in of the preprocessing sort.
-  size_t sort_fan_in = 16;
-  /// Directory for the sorted intermediate file ("" = private temp dir).
-  std::string scratch_dir;
-  /// Re-scan the graph at the end and fail on a non-independent or
-  /// non-maximal result (paranoid mode).
-  bool verify = false;
-  /// Number of adjacency shards for the parallel executors. Values <= 1
-  /// keep the sequential single-file path. With > 1 shards the (sorted)
-  /// file is split into contiguous shards up front and the WHOLE pipeline
-  /// runs over them: the greedy stage on the shard-pipelined executor
-  /// (core/parallel_greedy.h) and the swap stage on the parallel round
-  /// executor (core/parallel_swap.h), which is seeded with greedy's final
-  /// state array instead of re-reading the monolithic file. Both stages
-  /// are deterministic for any `num_threads`.
-  uint32_t num_shards = 0;
-  /// Worker threads of the parallel executors (0 = hardware concurrency).
-  /// Only used when num_shards > 1.
-  uint32_t num_threads = 1;
-};
-
-/// Everything a Solve call produced.
-struct SolveResult {
-  /// The independent set (bit per vertex id).
-  BitVector set;
-  /// Number of vertices in the set.
-  uint64_t set_size = 0;
-  /// Stage results (swap untouched when SwapMode::kNone).
-  AlgoResult greedy;
-  AlgoResult swap;
-  /// Seconds spent in the preprocessing sort (0 when skipped).
-  double sort_seconds = 0.0;
-  /// Seconds spent splitting the file into shards (0 when not sharding).
-  double shard_seconds = 0.0;
-  /// Aggregated I/O over all stages (sort + shard + greedy + swaps).
-  IoStats io;
-  /// Peak logical memory over all stages, including the preprocessing
-  /// sort's run buffer and merge cursors.
-  size_t peak_memory_bytes = 0;
-  /// Total wall-clock seconds.
-  double seconds = 0.0;
-};
+/// Solver configuration IS the engine configuration: the facade adds no
+/// knobs of its own. Shard/thread/buffering fields live under
+/// `.pipeline` (EnginePipelineOptions).
+using SolverOptions = MisEngineOptions;
 
 /// Facade over the pipeline. Stateless between calls; safe to reuse.
 class Solver {
@@ -84,9 +31,12 @@ class Solver {
   /// Creates a solver with `options`.
   explicit Solver(SolverOptions options) : options_(std::move(options)) {}
 
-  /// Solves the graph stored at `adjacency_path` (SADJ format; see
-  /// graph/adjacency_file.h). If `options.degree_sort` is set and the file
-  /// is not already degree-sorted, a sorted copy is produced first.
+  /// Solves the graph stored at `adjacency_path` -- a SADJ monolithic
+  /// file or (detected by magic) a SADJS manifest. If
+  /// `options.degree_sort` is set and a monolithic file is not already
+  /// degree-sorted, a sorted copy is produced first. With
+  /// `options.pipeline.num_shards` > 1 the whole pipeline runs over
+  /// shards (see MisEngine::Open).
   Status SolveFile(const std::string& adjacency_path, SolveResult* result);
 
   /// Convenience for in-memory graphs: writes `graph` to a scratch
@@ -96,14 +46,16 @@ class Solver {
   /// Solves a graph that is ALREADY sharded (SADJS manifest; see
   /// graph/sharded_adjacency_file.h) without re-sorting or re-splitting:
   /// greedy on the shard-pipelined executor, then the swap stage on the
-  /// parallel round executor, both with `options.num_threads`
-  /// (`options.num_shards` is ignored -- the file fixes the shard count).
-  /// Used by the streaming-update pipeline to solve from scratch after a
-  /// compaction, and byte-identical for every thread count like the
-  /// sharded SolveFile path. Because shards cannot be degree-sorted in
-  /// place, `options.degree_sort` demands the manifest's degree-sorted
-  /// flag instead of sorting; pass degree_sort = false to consume the
-  /// records as-is (paper BASELINE order semantics).
+  /// parallel round executor, both with `options.pipeline.num_threads`
+  /// (`options.pipeline.num_shards` is ignored -- the file fixes the
+  /// shard count). Used by the streaming-update pipeline to solve from
+  /// scratch after a compaction, and byte-identical for every thread
+  /// count like the sharded SolveFile path. Because shards cannot be
+  /// degree-sorted in place, `options.degree_sort` demands the
+  /// manifest's degree-sorted flag instead of sorting; pass degree_sort
+  /// = false to consume the records as-is (paper BASELINE order
+  /// semantics). Non-manifest input fails with the manifest reader's
+  /// diagnosis.
   Status SolveShardedFile(const std::string& manifest_path,
                           SolveResult* result);
 

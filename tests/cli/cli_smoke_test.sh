@@ -104,6 +104,84 @@ cmp -s "$work/updc.txt" "$work/upd1.txt" \
 "$CLI" unshard "$work/gc.sadjs" "$work/gc.adj"
 "$CLI" sort "$work/gc.adj" "$work/gc.sadj" --memory-mb 8
 "$CLI" solve "$work/gc.sadj" --algo twok --verify >/dev/null
+
+# --- degraded-order reporting -----------------------------------------------
+# The compaction above rewrote records, clearing gc.sadjs's degree-sorted
+# flag: sorted-order algorithms must warn on stderr and report the flag
+# under --stats.
+"$CLI" solve "$work/gc.sadjs" --algo greedy --stats \
+    > "$work/deg.log" 2> "$work/deg.err" \
+    || fail "solve on a compacted manifest exited non-zero"
+grep -q "degree_sorted=false" "$work/deg.log" \
+    || fail "solve --stats did not report degree_sorted=false"
+grep -q "not degree-sorted" "$work/deg.err" \
+    || fail "solve printed no degraded-order warning on stderr"
+"$CLI" update "$work/gc.sadjs" --stream "$work/updates.txt" --batch 8 \
+    --stats > "$work/updeg.log" 2> "$work/updeg.err" \
+    || fail "update on a compacted manifest exited non-zero"
+grep -q "degree_sorted=false" "$work/updeg.log" \
+    || fail "update --stats did not report degree_sorted=false"
+grep -q "not degree-sorted" "$work/updeg.err" \
+    || fail "update printed no degraded-order warning on stderr"
+# A freshly sharded (still degree-sorted) manifest: flag true, no warning.
+"$CLI" shard "$work/g.sadj" "$work/gs.sadjs" --shards 2 >/dev/null
+"$CLI" solve "$work/gs.sadjs" --algo greedy --stats \
+    > "$work/degok.log" 2> "$work/degok.err" \
+    || fail "solve on a sorted manifest exited non-zero"
+grep -q "degree_sorted=true" "$work/degok.log" \
+    || fail "solve --stats did not report degree_sorted=true"
+grep -q "not degree-sorted" "$work/degok.err" \
+    && fail "solve warned about a sorted manifest"
+
+# --- engine lifecycle session ------------------------------------------------
+cat > "$work/session.txt" <<'EOF'
+# scripted open -> serve -> mutate -> republish session
+query 0 1 2
++ 0 1
++ 7 8
+apply
+repair
+publish
+- 0 1
+apply
+repair
+compact
+publish
+query 0 1
+EOF
+for t in 1 2; do
+  "$CLI" shard "$work/g.sadj" "$work/ge$t.sadjs" --shards 4 >/dev/null
+  "$CLI" engine "$work/ge$t.sadjs" --script "$work/session.txt" \
+      --algo greedy --threads "$t" --stats --out "$work/eng$t.txt" \
+      > "$work/eng$t.log" || fail "engine session exited non-zero ($t threads)"
+  [ -s "$work/eng$t.txt" ] || fail "engine --out produced an empty list"
+done
+# Determinism contract: the epoch sequence (and the whole session
+# transcript) is thread-count independent.
+cmp -s "$work/eng1.txt" "$work/eng2.txt" \
+    || fail "engine result differs between 1 and 2 threads"
+# (normalize the per-run file paths the transcript embeds)
+for t in 1 2; do
+  sed -e "s|ge$t\.sadjs|geN.sadjs|" -e "s|eng$t\.txt|engN.txt|" \
+      "$work/eng$t.log" > "$work/eng$t.norm"
+done
+cmp -s "$work/eng1.norm" "$work/eng2.norm" \
+    || fail "engine transcript differs between 1 and 2 threads"
+grep -q "^opened .*epoch 1" "$work/eng1.log" || fail "engine printed no open line"
+grep -q "^published epoch 2:" "$work/eng1.log" \
+    || fail "engine published no epoch 2"
+grep -q "^published epoch 3:" "$work/eng1.log" \
+    || fail "engine published no epoch 3"
+grep -q "^session end: epoch 3" "$work/eng1.log" \
+    || fail "engine session did not end on epoch 3"
+grep -q "degree_sorted=true" "$work/eng1.log" \
+    || fail "engine --stats did not report degree_sorted"
+# Bad scripts are rejected with a clean error.
+printf 'frobnicate\n' > "$work/badsession.txt"
+if "$CLI" engine "$work/ge1.sadjs" --script "$work/badsession.txt" \
+    >/dev/null 2>&1; then
+  fail "malformed session script exited 0"
+fi
 # update also accepts a monolithic input (shards it next to itself).
 "$CLI" update "$work/g.sadj" --stream "$work/updates.txt" --shards 3 \
     --threads 2 --batch 4 --compact --verify >/dev/null

@@ -79,7 +79,7 @@ void MakeInstances(ScratchDir* scratch, const std::string& mono_path,
                                         "_t" + std::to_string(threads) +
                                         ".sadjs");
       ASSERT_OK(ShardAdjacencyFile(mono_path, i.manifest, shards));
-      StreamingMisOptions opts;
+      EnginePipelineOptions opts;
       opts.num_threads = threads;
       opts.compact_threshold_entries = compact_threshold;
       ASSERT_OK(i.mis.Initialize(i.manifest, initial, opts));
@@ -213,7 +213,7 @@ TEST_F(IncrementalStreamTest, InsertBetweenSetMembersEvictsEagerly) {
   set.Set(0);
   set.Set(2);
   ShardedStreamingMis mis;
-  ASSERT_OK(mis.Initialize(manifest, set, StreamingMisOptions{}));
+  ASSERT_OK(mis.Initialize(manifest, set, EnginePipelineOptions{}));
   ASSERT_OK(mis.ApplyBatch({EdgeUpdate::Insert(0, 2)}));
   EXPECT_EQ(mis.set_size(), 1u);
   EXPECT_TRUE(mis.set().Test(0));  // smaller id stays
@@ -230,7 +230,7 @@ TEST_F(IncrementalStreamTest, BatchValidationFailsWholeBatchUpFront) {
   std::string manifest = NewPath("val.sadjs");
   ASSERT_OK(ShardAdjacencyFile(mono, manifest, 2));
   ShardedStreamingMis mis;
-  ASSERT_OK(mis.Initialize(manifest, BitVector(5), StreamingMisOptions{}));
+  ASSERT_OK(mis.Initialize(manifest, BitVector(5), EnginePipelineOptions{}));
   // Self-loop and out-of-range updates are rejected and nothing -- not
   // even the valid first update -- is applied.
   EXPECT_TRUE(mis.ApplyBatch({EdgeUpdate::Insert(0, 2),
@@ -251,7 +251,7 @@ TEST_F(IncrementalStreamTest, RedundantUpdatesAreNotLogged) {
   std::string manifest = NewPath("red.sadjs");
   ASSERT_OK(ShardAdjacencyFile(mono, manifest, 2));
   ShardedStreamingMis mis;
-  ASSERT_OK(mis.Initialize(manifest, BitVector(4), StreamingMisOptions{}));
+  ASSERT_OK(mis.Initialize(manifest, BitVector(4), EnginePipelineOptions{}));
   ASSERT_OK(mis.ApplyBatch({EdgeUpdate::Insert(0, 2),
                             EdgeUpdate::Insert(0, 2),    // duplicate
                             EdgeUpdate::Delete(1, 3),
@@ -276,7 +276,7 @@ TEST_F(IncrementalStreamTest, DuplicateBaseEdgeInsertThenDeleteCompacts) {
   BitVector set(2);
   set.Set(0);
   ShardedStreamingMis mis;
-  ASSERT_OK(mis.Initialize(manifest, set, StreamingMisOptions{}));
+  ASSERT_OK(mis.Initialize(manifest, set, EnginePipelineOptions{}));
   ASSERT_OK(mis.ApplyBatch({EdgeUpdate::Insert(0, 1)}));  // duplicates base
   ASSERT_OK(mis.ApplyBatch({EdgeUpdate::Delete(0, 1)}));
   ASSERT_OK(mis.Repair());
@@ -302,7 +302,7 @@ TEST_F(IncrementalStreamTest, DuplicateBaseEdgeInsertThenDeleteCompacts) {
   std::string manifest2 = NewPath("dup2.sadjs");
   ASSERT_OK(ShardAdjacencyFile(mono, manifest2, 1));
   ShardedStreamingMis mis2;
-  ASSERT_OK(mis2.Initialize(manifest2, set, StreamingMisOptions{}));
+  ASSERT_OK(mis2.Initialize(manifest2, set, EnginePipelineOptions{}));
   ASSERT_OK(mis2.ApplyBatch({EdgeUpdate::Insert(0, 1)}));
   ASSERT_OK(mis2.Compact(/*force=*/true));
   ShardedAdjacencyScanner scanner2;
@@ -322,7 +322,7 @@ TEST_F(IncrementalStreamTest, CompactionFoldsDeltaAndPreservesAnswers) {
   ASSERT_OK(ShardAdjacencyFile(mono, manifest, 3));
   BitVector initial = RandomMaximalSet(base, 4);
   ShardedStreamingMis mis;
-  StreamingMisOptions opts;
+  EnginePipelineOptions opts;
   opts.num_threads = 2;
   ASSERT_OK(mis.Initialize(manifest, initial, opts));
 
@@ -399,7 +399,7 @@ TEST_F(IncrementalStreamTest, RestartReplaysTheOverlayExactly) {
   BitVector initial = RandomMaximalSet(base, 15);
 
   ShardedStreamingMis first;
-  ASSERT_OK(first.Initialize(manifest, initial, StreamingMisOptions{}));
+  ASSERT_OK(first.Initialize(manifest, initial, EnginePipelineOptions{}));
   Random rng(5);
   std::vector<EdgeUpdate> updates;
   for (int i = 0; i < 80; ++i) {
@@ -415,7 +415,7 @@ TEST_F(IncrementalStreamTest, RestartReplaysTheOverlayExactly) {
   // must come back in the exact same state (the logs are the redo
   // stream).
   ShardedStreamingMis second;
-  ASSERT_OK(second.Initialize(manifest, initial, StreamingMisOptions{}));
+  ASSERT_OK(second.Initialize(manifest, initial, EnginePipelineOptions{}));
   EXPECT_EQ(SetToVector(second.set()), SetToVector(first.set()));
   EXPECT_EQ(second.stats().pending_delta_entries,
             first.stats().pending_delta_entries);
@@ -443,7 +443,7 @@ TEST_F(IncrementalStreamTest, RestartReplaysTheOverlayExactly) {
   ASSERT_OK(dst.Open(EdgeDeltaManifestPath(other)));
   ASSERT_OK(dst.Append(all.data(), all.size()));
   ASSERT_OK(dst.Close());
-  Status s = third.Initialize(other, initial, StreamingMisOptions{});
+  Status s = third.Initialize(other, initial, EnginePipelineOptions{});
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
 }
 
@@ -459,7 +459,7 @@ TEST_F(IncrementalStreamTest, RestartDropsCrashTornLogTail) {
   BitVector initial = RandomMaximalSet(base, 2);
 
   ShardedStreamingMis first;
-  ASSERT_OK(first.Initialize(manifest, initial, StreamingMisOptions{}));
+  ASSERT_OK(first.Initialize(manifest, initial, EnginePipelineOptions{}));
   ASSERT_OK(first.ApplyBatch({EdgeUpdate::Insert(0, 1),
                               EdgeUpdate::Insert(2, 3)}));
   const std::vector<VertexId> flushed_state = SetToVector(first.set());
@@ -483,14 +483,14 @@ TEST_F(IncrementalStreamTest, RestartDropsCrashTornLogTail) {
   // ...while a restarted session recovers: same state as the last flush,
   // tail gone, and the overlay fully consistent again.
   ShardedStreamingMis second;
-  ASSERT_OK(second.Initialize(manifest, initial, StreamingMisOptions{}));
+  ASSERT_OK(second.Initialize(manifest, initial, EnginePipelineOptions{}));
   EXPECT_EQ(SetToVector(second.set()), flushed_state);
   EXPECT_EQ(second.stats().recovered_log_tails, 1u);
   entries.clear();
   ASSERT_OK(ReadEdgeDeltaShardLog(delta, dm, 0, &entries));  // clean now
   ASSERT_OK(second.ApplyBatch({EdgeUpdate::Insert(7, 8)}));
   ShardedStreamingMis third;
-  ASSERT_OK(third.Initialize(manifest, initial, StreamingMisOptions{}));
+  ASSERT_OK(third.Initialize(manifest, initial, EnginePipelineOptions{}));
   EXPECT_EQ(SetToVector(third.set()), SetToVector(second.set()));
   EXPECT_EQ(third.stats().recovered_log_tails, 0u);
 }
@@ -509,7 +509,7 @@ TEST_F(IncrementalStreamTest, StreamQualityTracksFromScratchSolve) {
     ASSERT_OK(solver.SolveFile(mono, &solved));
     ASSERT_OK(ShardAdjacencyFile(mono, manifest, 5));
     ShardedStreamingMis mis;
-    StreamingMisOptions opts;
+    EnginePipelineOptions opts;
     opts.num_threads = 2;
     ASSERT_OK(mis.Initialize(manifest, solved.set, opts));
 
@@ -528,7 +528,7 @@ TEST_F(IncrementalStreamTest, StreamQualityTracksFromScratchSolve) {
     SolverOptions sopts;
     sopts.degree_sort = false;  // compaction cleared the sorted flag
     sopts.swap = SwapMode::kNone;
-    sopts.num_threads = 2;
+    sopts.pipeline.num_threads = 2;
     Solver fresh(sopts);
     SolveResult from_scratch;
     ASSERT_OK(fresh.SolveShardedFile(manifest, &from_scratch));
@@ -547,7 +547,7 @@ TEST_F(IncrementalStreamTest, InitializeRejectsMismatchedSet) {
   std::string manifest = NewPath("mm.sadjs");
   ASSERT_OK(ShardAdjacencyFile(mono, manifest, 2));
   ShardedStreamingMis mis;
-  EXPECT_TRUE(mis.Initialize(manifest, BitVector(3), StreamingMisOptions{})
+  EXPECT_TRUE(mis.Initialize(manifest, BitVector(3), EnginePipelineOptions{})
                   .IsInvalidArgument());
   // Uninitialized use is rejected too.
   ShardedStreamingMis unbound;
@@ -563,7 +563,7 @@ TEST_F(IncrementalStreamTest, EmptyGraphAndEmptyBatches) {
   std::string manifest = NewPath("empty.sadjs");
   ASSERT_OK(ShardAdjacencyFile(mono, manifest, 3));
   ShardedStreamingMis mis;
-  ASSERT_OK(mis.Initialize(manifest, BitVector(0), StreamingMisOptions{}));
+  ASSERT_OK(mis.Initialize(manifest, BitVector(0), EnginePipelineOptions{}));
   ASSERT_OK(mis.ApplyBatch({}));
   ASSERT_OK(mis.Repair());
   ASSERT_OK(mis.Compact(true));
@@ -575,7 +575,7 @@ TEST_F(IncrementalStreamTest, EmptyGraphAndEmptyBatches) {
   std::string manifest2 = NewPath("empty2.sadjs");
   ASSERT_OK(ShardAdjacencyFile(mono2, manifest2, 1));
   ShardedStreamingMis mis2;
-  StreamingMisOptions opts;
+  EnginePipelineOptions opts;
   opts.num_threads = 4;
   ASSERT_OK(mis2.Initialize(manifest2, BitVector(3), opts));
   ASSERT_OK(mis2.ApplyBatch({}));

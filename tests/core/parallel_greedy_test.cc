@@ -56,7 +56,7 @@ TEST_F(ParallelGreedyTest, ByteIdenticalAcrossShardAndThreadCounts) {
     std::string manifest = Shard(sorted, shards);
     for (uint32_t threads : {1u, 2u, 8u}) {
       ParallelGreedyOptions opts;
-      opts.num_threads = threads;
+      opts.pipeline.num_threads = threads;
       AlgoResult res;
       std::vector<VState> states;
       ASSERT_OK(
@@ -85,7 +85,7 @@ TEST_F(ParallelGreedyTest, IdOrderedBaselineInputAlsoByteIdentical) {
     std::string manifest = Shard(mono, shards);
     for (uint32_t threads : {1u, 2u, 8u}) {
       ParallelGreedyOptions opts;
-      opts.num_threads = threads;
+      opts.pipeline.num_threads = threads;
       AlgoResult res;
       ASSERT_OK(RunParallelGreedy(manifest, opts, &res));
       EXPECT_EQ(SetToVector(res.in_set), SetToVector(ref.in_set))
@@ -98,7 +98,7 @@ TEST_F(ParallelGreedyTest, ResultIsMaximalIndependentSet) {
   Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(10000, 2.0), 43);
   std::string manifest = Shard(Sort(WriteGraphFile(&scratch_, g)), 5);
   ParallelGreedyOptions opts;
-  opts.num_threads = 4;
+  opts.pipeline.num_threads = 4;
   AlgoResult res;
   ASSERT_OK(RunParallelGreedy(manifest, opts, &res));
   VerifyResult vr = VerifyIndependentSet(g, res.in_set);
@@ -112,7 +112,7 @@ TEST_F(ParallelGreedyTest, EmptyGraph) {
   std::string manifest = Shard(WriteGraphFile(&scratch_, g), 3);
   for (uint32_t threads : {1u, 2u, 8u}) {
     ParallelGreedyOptions opts;
-    opts.num_threads = threads;
+    opts.pipeline.num_threads = threads;
     AlgoResult res;
     ASSERT_OK(RunParallelGreedy(manifest, opts, &res));
     EXPECT_EQ(res.set_size, 0u) << threads << " threads";
@@ -127,7 +127,7 @@ TEST_F(ParallelGreedyTest, SingleShardManifest) {
   ASSERT_OK(RunGreedy(mono, {}, &ref));
   for (uint32_t threads : {1u, 4u}) {
     ParallelGreedyOptions opts;
-    opts.num_threads = threads;
+    opts.pipeline.num_threads = threads;
     AlgoResult res;
     ASSERT_OK(RunParallelGreedy(manifest, opts, &res));
     EXPECT_EQ(SetToVector(res.in_set), SetToVector(ref.in_set)) << threads;
@@ -142,7 +142,7 @@ TEST_F(ParallelGreedyTest, RequireDegreeSortedEnforcedOnShardedPath) {
   std::string manifest = Shard(WriteGraphFile(&scratch_, g), 3);
   for (uint32_t threads : {1u, 4u}) {
     ParallelGreedyOptions opts;
-    opts.num_threads = threads;
+    opts.pipeline.num_threads = threads;
     opts.greedy.require_degree_sorted = true;
     AlgoResult res;
     Status s = RunParallelGreedy(manifest, opts, &res);
@@ -156,7 +156,7 @@ TEST_F(ParallelGreedyTest, RequireDegreeSortedEnforcedOnShardedPath) {
   Graph g2 = GeneratePlrg(PlrgSpec::ForVertexCount(2000, 2.0), 45);
   std::string sorted_manifest = Shard(Sort(WriteGraphFile(&scratch_, g2)), 3);
   ParallelGreedyOptions opts;
-  opts.num_threads = 2;
+  opts.pipeline.num_threads = 2;
   opts.greedy.require_degree_sorted = true;
   AlgoResult res;
   EXPECT_OK(RunParallelGreedy(sorted_manifest, opts, &res));
@@ -166,7 +166,7 @@ TEST_F(ParallelGreedyTest, IoAndMemoryCountersFold) {
   Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(10000, 2.0), 46);
   std::string manifest = Shard(Sort(WriteGraphFile(&scratch_, g)), 4);
   ParallelGreedyOptions opts;
-  opts.num_threads = 3;
+  opts.pipeline.num_threads = 3;
   AlgoResult res;
   ASSERT_OK(RunParallelGreedy(manifest, opts, &res));
   // One logical scan of the graph, all shard bytes charged.
@@ -188,8 +188,8 @@ TEST_F(ParallelGreedyTest, TightBufferWindowStillComplete) {
   AlgoResult ref;
   ASSERT_OK(RunGreedy(mono, {}, &ref));
   ParallelGreedyOptions opts;
-  opts.num_threads = 8;
-  opts.max_buffered_bytes = 1;
+  opts.pipeline.num_threads = 8;
+  opts.pipeline.max_buffered_bytes = 1;
   AlgoResult res;
   ASSERT_OK(RunParallelGreedy(manifest, opts, &res));
   EXPECT_EQ(SetToVector(res.in_set), SetToVector(ref.in_set));
@@ -213,9 +213,9 @@ TEST_F(ParallelGreedyTest, BlockGeometrySweepStaysByteIdentical) {
                               Geometry{4096, 4096}, Geometry{1 << 20, 64}}) {
     for (uint32_t threads : {2u, 8u}) {
       ParallelGreedyOptions opts;
-      opts.num_threads = threads;
-      opts.decode_block_bytes = geo.block_bytes;
-      opts.max_buffered_bytes = geo.max_buffered_bytes;
+      opts.pipeline.num_threads = threads;
+      opts.pipeline.decode_block_bytes = geo.block_bytes;
+      opts.pipeline.max_buffered_bytes = geo.max_buffered_bytes;
       AlgoResult res;
       std::vector<VState> states;
       ASSERT_OK(RunParallelGreedyWithStates(manifest, opts, &res, &states));

@@ -163,8 +163,8 @@ TEST_F(ParallelSwapTest, SolverIntegrationEndToEnd) {
   Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(15000, 2.0), 38);
   std::string path = WriteGraphFile(&scratch_, g);
   SolverOptions opts;
-  opts.num_shards = 4;
-  opts.num_threads = 2;
+  opts.pipeline.num_shards = 4;
+  opts.pipeline.num_threads = 2;
   opts.verify = true;
   Solver solver(opts);
   SolveResult res;
@@ -173,7 +173,7 @@ TEST_F(ParallelSwapTest, SolverIntegrationEndToEnd) {
   EXPECT_GT(res.shard_seconds, 0.0);
 
   SolverOptions opts1 = opts;
-  opts1.num_threads = 1;
+  opts1.pipeline.num_threads = 1;
   Solver solver1(opts1);
   SolveResult res1;
   ASSERT_OK(solver1.SolveFile(path, &res1));

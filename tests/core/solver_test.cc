@@ -168,8 +168,8 @@ TEST_F(SolverTest, ShardedGreedySolveMatchesSequentialSolve) {
   for (uint32_t shards : {3u, 5u}) {
     for (uint32_t threads : {1u, 2u, 4u}) {
       SolverOptions opts = seq_opts;
-      opts.num_shards = shards;
-      opts.num_threads = threads;
+      opts.pipeline.num_shards = shards;
+      opts.pipeline.num_threads = threads;
       Solver solver(opts);
       SolveResult res;
       ASSERT_OK(solver.SolveFile(path, &res));
@@ -188,8 +188,8 @@ TEST_F(SolverTest, ShardedFullPipelineDeterministicAcrossThreads) {
   Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(12000, 2.0), 18);
   std::string path = WriteGraphFile(&scratch_, g);
   SolverOptions opts;
-  opts.num_shards = 4;
-  opts.num_threads = 1;
+  opts.pipeline.num_shards = 4;
+  opts.pipeline.num_threads = 1;
   opts.verify = true;
   Solver solver1(opts);
   SolveResult res1;
@@ -198,7 +198,7 @@ TEST_F(SolverTest, ShardedFullPipelineDeterministicAcrossThreads) {
 
   for (uint32_t threads : {2u, 8u}) {
     SolverOptions optsN = opts;
-    optsN.num_threads = threads;
+    optsN.pipeline.num_threads = threads;
     Solver solverN(optsN);
     SolveResult resN;
     ASSERT_OK(solverN.SolveFile(path, &resN));
@@ -222,8 +222,8 @@ TEST_F(SolverTest, SolveShardedFileMatchesShardedSolveFile) {
   ASSERT_OK(ShardAdjacencyFile(sorted, manifest, 4));
 
   SolverOptions opts;
-  opts.num_shards = 4;
-  opts.num_threads = 2;
+  opts.pipeline.num_shards = 4;
+  opts.pipeline.num_threads = 2;
   opts.verify = true;
   Solver ref_solver(opts);
   SolveResult ref;
@@ -257,8 +257,8 @@ TEST_F(SolverTest, ShardedGreedyCountersFoldIntoSolveResult) {
   Graph g = GeneratePlrg(PlrgSpec::ForVertexCount(8000, 2.0), 19);
   std::string path = WriteGraphFile(&scratch_, g);
   SolverOptions opts;
-  opts.num_shards = 4;
-  opts.num_threads = 3;
+  opts.pipeline.num_shards = 4;
+  opts.pipeline.num_threads = 3;
   Solver solver(opts);
   SolveResult res;
   ASSERT_OK(solver.SolveFile(path, &res));

@@ -8,12 +8,17 @@
 //   semis_cli shard    <graph.adj> <graph.sadjs> [--shards N]
 //   semis_cli stats    <graph.adj>
 //   semis_cli bound    <graph.adj>
-//   semis_cli solve    <graph.adj> [--algo baseline|greedy|onek|twok]
+//   semis_cli solve    <graph.adj|graph.sadjs>
+//                      [--algo baseline|greedy|onek|twok]
 //                      [--rounds R] [--shards N] [--threads T]
 //                      [--out set.txt] [--verify]
 //                      (--shards > 1 runs the WHOLE pipeline -- greedy and
 //                       the swap stage -- over shards with T threads; the
-//                       result is byte-identical for every thread count)
+//                       result is byte-identical for every thread count.
+//                       A SADJS manifest is consumed directly; when its
+//                       degree-sorted flag is cleared -- e.g. by a
+//                       compaction -- the sorted-order algorithms degrade
+//                       to BASELINE order and a warning is printed.)
 //   semis_cli cover    <graph.adj> [--out cover.txt]
 //   semis_cli color    <graph.sadj> [--mis-rounds R]
 //   semis_cli update   <graph.adj|graph.sadjs> --stream <updates.txt>
@@ -27,6 +32,14 @@
 //                       first; a SADJS manifest is updated in place. A
 //                       shard whose delta log reaches E entries is
 //                       compacted automatically, default 65536, 0 = off.)
+//   semis_cli engine   <graph.adj|graph.sadjs> --script <session.txt>
+//                      [--algo baseline|greedy|onek|twok] [--rounds R]
+//                      [--shards N] [--threads T] [--compact-threshold E]
+//                      [--out set.txt] [--stats]
+//                      (drives a resident MisEngine through a scripted
+//                       open -> query -> update -> repair -> publish
+//                       session; queries are served from immutable epoch
+//                       snapshots that never block on mutation)
 //   semis_cli unshard  <graph.sadjs> <graph.adj>
 //
 // Every command is semi-external: O(|V|) memory, sequential file I/O.
@@ -35,6 +48,14 @@
 //   + u v    insert edge (u, v)
 //   - u v    delete edge (u, v)
 // '#' starts a comment; blank lines are skipped.
+//
+// The engine session script adds lifecycle verbs to the same syntax:
+//   + u v / - u v   queue an update
+//   apply           ApplyBatch() the queued updates
+//   repair          restore maximality of the successor state
+//   compact         fold the pending delta into the base shards
+//   publish         freeze the successor into a new served epoch
+//   query v [v...]  membership queries against the CURRENT epoch
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +65,7 @@
 #include <algorithm>
 
 #include "core/coloring.h"
+#include "core/engine.h"
 #include "core/incremental_stream.h"
 #include "core/solver.h"
 #include "core/upper_bound.h"
@@ -71,14 +93,17 @@ void PrintUsage(std::FILE* to) {
       "  shard    <graph.adj> <graph.sadjs> [--shards N]\n"
       "  stats    <graph.adj>\n"
       "  bound    <graph.adj>\n"
-      "  solve    <graph.adj> [--algo baseline|greedy|onek|twok] "
+      "  solve    <graph.adj|graph.sadjs> [--algo baseline|greedy|onek|twok] "
       "[--rounds R] [--shards N] [--threads T] [--out set.txt] [--verify] "
       "[--stats]\n"
       "  cover    <graph.adj> [--out cover.txt]\n"
       "  color    <graph.sadj> [--mis-rounds R]\n"
       "  update   <graph.adj|graph.sadjs> --stream <updates.txt> "
       "[--shards N] [--threads T] [--batch B] [--compact-threshold E] "
-      "[--compact] [--set set.txt] [--out set.txt] [--verify]\n"
+      "[--compact] [--set set.txt] [--out set.txt] [--verify] [--stats]\n"
+      "  engine   <graph.adj|graph.sadjs> --script <session.txt> "
+      "[--algo baseline|greedy|onek|twok] [--rounds R] [--shards N] "
+      "[--threads T] [--compact-threshold E] [--out set.txt] [--stats]\n"
       "  unshard  <graph.sadjs> <graph.adj>\n");
 }
 
@@ -219,6 +244,30 @@ bool ParseCount(const std::string& text, long min, long max, uint32_t* out) {
   return true;
 }
 
+// True when the file at `path` starts with the SADJS manifest magic.
+// Unreadable files are "not a manifest" -- the consuming command will
+// surface the real open error.
+bool IsManifestFile(const std::string& path) {
+  SequentialFileReader probe;
+  uint32_t magic = 0;
+  return probe.Open(path).ok() && probe.ReadU32(&magic).ok() &&
+         magic == kShardManifestMagic;
+}
+
+// The degree-sorted-flag warning shared by solve/update/engine: shards
+// cannot be re-sorted in place, so a cleared flag (typically a
+// compaction that changed record degrees) silently demotes GREEDY to
+// BASELINE order until the graph is re-sorted.
+void WarnNotDegreeSorted(const std::string& manifest_path) {
+  std::fprintf(
+      stderr,
+      "warning: %s is not degree-sorted (the flag was cleared, e.g. by a "
+      "compaction); sorted-order algorithms run in BASELINE order and set "
+      "quality may degrade. Rebuild with unshard + sort + shard to "
+      "restore GREEDY order.\n",
+      manifest_path.c_str());
+}
+
 int CmdShard(const Args& args) {
   if (args.positional.size() != 2) return Usage();
   uint32_t num_shards = 0;
@@ -297,19 +346,35 @@ int CmdSolve(const Args& args) {
   opts.max_swap_rounds =
       static_cast<uint32_t>(std::atoi(args.Get("rounds", "0").c_str()));
   if (!ParseCount(args.Get("shards", "0"), 0, kMaxAdjacencyShards,
-                  &opts.num_shards)) {
+                  &opts.pipeline.num_shards)) {
     std::fprintf(stderr, "error: --shards must be in [0, %u]\n",
                  kMaxAdjacencyShards);
     return 1;
   }
-  if (!ParseCount(args.Get("threads", "1"), 0, 4096, &opts.num_threads)) {
+  if (!ParseCount(args.Get("threads", "1"), 0, 4096,
+                  &opts.pipeline.num_threads)) {
     std::fprintf(stderr, "error: --threads must be in [0, 4096]\n");
     return 1;
   }
   opts.verify = args.Has("verify");
+  // A SADJS manifest is consumed directly (the file fixes the shard
+  // count). Shards cannot be sorted in place, so a sorted-order algo on
+  // an unsorted manifest degrades to BASELINE order -- loudly.
+  const bool is_manifest = IsManifestFile(args.positional[0]);
+  if (is_manifest && opts.degree_sort) {
+    ShardedAdjacencyManifest manifest;
+    Status ms = ReadShardedAdjacencyManifest(args.positional[0], &manifest);
+    if (!ms.ok()) return Fail(ms);
+    if (!manifest.header.IsDegreeSorted()) {
+      WarnNotDegreeSorted(args.positional[0]);
+      opts.degree_sort = false;
+    }
+  }
   Solver solver(opts);
   SolveResult res;
-  Status s = solver.SolveFile(args.positional[0], &res);
+  Status s = is_manifest
+                 ? solver.SolveShardedFile(args.positional[0], &res)
+                 : solver.SolveFile(args.positional[0], &res);
   if (!s.ok()) return Fail(s);
   std::printf("independent set: %llu vertices\n",
               static_cast<unsigned long long>(res.set_size));
@@ -323,11 +388,15 @@ int CmdSolve(const Args& args) {
               MemoryTracker::FormatBytes(res.peak_memory_bytes).c_str(),
               static_cast<unsigned long long>(res.io.sequential_scans),
               MemoryTracker::FormatBytes(res.io.bytes_read).c_str());
-  if (opts.num_shards > 1) {
+  if (opts.pipeline.num_shards > 1 && !is_manifest) {
     std::printf("  sharded pipeline: %u shards, %u threads, split in %.2fs\n",
-                opts.num_shards, opts.num_threads, res.shard_seconds);
+                opts.pipeline.num_shards, opts.pipeline.num_threads,
+                res.shard_seconds);
   }
   if (args.Has("stats")) {
+    // Whether the consumed records were degree-sorted (GREEDY order) --
+    // false on BASELINE runs and on manifests whose flag was cleared.
+    std::printf("  degree_sorted=%s\n", res.degree_sorted ? "true" : "false");
     // Shard-decode counters, all zero on the unsharded single-file path.
     // records_decoded spans EVERY shard scan (the greedy cursor pass plus
     // each swap round's rescans); the block-ring line covers only the
@@ -554,44 +623,51 @@ int CmdUpdate(const Args& args) {
                 manifest_path.c_str(), manifest.num_shards());
   }
 
-  // Starting set: caller-provided, or a from-scratch sharded greedy solve
-  // (GREEDY on degree-sorted input, BASELINE order otherwise).
-  BitVector initial;
+  // The GREEDY-quality trap: a compaction may have cleared the sorted
+  // flag since the graph was sharded. The maintenance loop below is
+  // order-insensitive, but the from-scratch initial solve is not.
+  if (!manifest.header.IsDegreeSorted()) {
+    WarnNotDegreeSorted(manifest_path);
+  }
+
+  // The whole session runs on one resident engine: open (solve or adopt
+  // a set) -> apply/repair per batch -> publish each repaired state as a
+  // served epoch.
+  MisEngineOptions eopts;
+  eopts.degree_sort = manifest.header.IsDegreeSorted();
+  eopts.swap = SwapMode::kNone;
+  eopts.pipeline.num_threads = num_threads;
+  // Auto-compaction defaults ON so the pending delta (in memory and on
+  // disk) stays bounded no matter how long the stream runs; 0 disables.
+  eopts.pipeline.compact_threshold_entries = std::strtoull(
+      args.Get("compact-threshold", "65536").c_str(), nullptr, 10);
+  MisEngine engine(eopts);
   if (args.Has("set")) {
+    BitVector initial;
     Status s = ReadSetText(args.Get("set"), manifest.header.num_vertices,
                            &initial);
     if (!s.ok()) return Fail(s);
-  } else {
-    SolverOptions sopts;
-    sopts.degree_sort = manifest.header.IsDegreeSorted();
-    sopts.swap = SwapMode::kNone;
-    sopts.num_threads = num_threads;
-    Solver solver(sopts);
-    SolveResult solved;
-    Status s = solver.SolveShardedFile(manifest_path, &solved);
+    s = engine.OpenSharded(manifest_path, initial);
     if (!s.ok()) return Fail(s);
-    initial = std::move(solved.set);
+  } else {
+    Status s = engine.OpenSharded(manifest_path);
+    if (!s.ok()) return Fail(s);
     std::printf("initial set: %llu vertices (sharded %s)\n",
-                static_cast<unsigned long long>(solved.set_size),
-                sopts.degree_sort ? "greedy" : "baseline greedy");
+                static_cast<unsigned long long>(
+                    engine.open_result().set_size),
+                eopts.degree_sort ? "greedy" : "baseline greedy");
   }
+  // Bind the mutation arm now (and replay any previous session's
+  // overlay) so init I/O is not charged to the first batch.
+  Status s = engine.Prepare();
+  if (!s.ok()) return Fail(s);
 
   UpdateStreamReader stream;
-  Status s = stream.Open(args.Get("stream"));
+  s = stream.Open(args.Get("stream"));
   if (!s.ok()) return Fail(s);
 
-  StreamingMisOptions opts;
-  opts.num_threads = num_threads;
-  // Auto-compaction defaults ON so the pending delta (in memory and on
-  // disk) stays bounded no matter how long the stream runs; 0 disables.
-  opts.compact_threshold_entries = std::strtoull(
-      args.Get("compact-threshold", "65536").c_str(), nullptr, 10);
-  ShardedStreamingMis mis;
-  s = mis.Initialize(manifest_path, initial, opts);
-  if (!s.ok()) return Fail(s);
-
-  // Batched apply -> repair, the amortized maintenance loop. The stream
-  // is parsed incrementally, one batch in memory at a time.
+  // Batched apply -> repair -> publish, the amortized maintenance loop.
+  // The stream is parsed incrementally, one batch in memory at a time.
   std::vector<EdgeUpdate> batch_updates;
   batch_updates.reserve(batch);
   bool drained = false;
@@ -609,19 +685,22 @@ int CmdUpdate(const Args& args) {
       batch_updates.push_back(update);
     }
     if (batch_updates.empty()) break;
-    s = mis.ApplyBatch(batch_updates);
+    s = engine.ApplyBatch(batch_updates);
     if (!s.ok()) return Fail(s);
-    s = mis.Repair();
+    s = engine.Repair();
     if (!s.ok()) return Fail(s);
+    engine.Publish();
   }
   if (compact) {
-    s = mis.Compact(/*force=*/true);
+    s = engine.Compact(/*force=*/true);
     if (!s.ok()) return Fail(s);
   }
+  // Surface whatever the last batch (or a replayed overlay) left behind.
+  EpochSnapshotRef final_epoch = engine.Publish();
 
-  const StreamingMisStats& st = mis.stats();
+  const StreamingMisStats& st = *engine.streaming_stats();
   std::printf("maintained set: %llu vertices after %llu updates\n",
-              static_cast<unsigned long long>(mis.set_size()),
+              static_cast<unsigned long long>(final_epoch->set_size()),
               static_cast<unsigned long long>(st.updates_applied));
   std::printf("  %llu inserts, %llu deletes, %llu redundant, "
               "%llu evictions\n",
@@ -645,10 +724,29 @@ int CmdUpdate(const Args& args) {
               static_cast<unsigned long long>(st.io.sequential_scans),
               MemoryTracker::FormatBytes(st.io.bytes_read).c_str(),
               MemoryTracker::FormatBytes(st.io.bytes_written).c_str());
+  if (args.Has("stats")) {
+    // Compact may have cleared the flag during THIS session; report the
+    // manifest's current state, not the one we opened with.
+    ShardedAdjacencyManifest now;
+    s = ReadShardedAdjacencyManifest(manifest_path, &now);
+    if (!s.ok()) return Fail(s);
+    std::printf("  degree_sorted=%s\n",
+                now.header.IsDegreeSorted() ? "true" : "false");
+    const EpochStats& es = final_epoch->stats();
+    std::printf("  epoch %llu: %llu batches, %llu updates, %llu repair "
+                "passes re-added %llu (apply %.2fs, repair %.2fs)\n",
+                static_cast<unsigned long long>(final_epoch->epoch()),
+                static_cast<unsigned long long>(es.batches),
+                static_cast<unsigned long long>(es.updates),
+                static_cast<unsigned long long>(es.repair_passes),
+                static_cast<unsigned long long>(es.repair_added),
+                es.apply_seconds, es.repair_seconds);
+  }
 
   if (args.Has("verify")) {
     VerifyResult vr;
-    s = VerifyIndependentSetShardedFile(manifest_path, mis.set(), &vr);
+    s = VerifyIndependentSetShardedFile(manifest_path, final_epoch->set(),
+                                        &vr);
     if (!s.ok()) return Fail(s);
     if (!vr.independent || !vr.maximal) {
       std::fprintf(stderr, "error: maintained set is %s\n",
@@ -658,7 +756,227 @@ int CmdUpdate(const Args& args) {
     std::printf("  verified independent + maximal\n");
   }
   if (args.Has("out")) {
-    s = WriteSetText(mis.set(), args.Get("out"));
+    s = WriteSetText(final_epoch->set(), args.Get("out"));
+    if (!s.ok()) return Fail(s);
+    std::printf("  members written to %s\n", args.Get("out").c_str());
+  }
+  return 0;
+}
+
+// Drives a resident MisEngine through a scripted lifecycle session:
+// open -> (queue updates | apply | repair | compact | publish | query)*.
+// Queries are answered from the engine's CURRENT epoch snapshot, so a
+// `query` between `repair` and `publish` still sees the previous epoch --
+// exactly the reader contract the library documents. Output is one line
+// per lifecycle verb, deterministic for a given script.
+int CmdEngine(const Args& args) {
+  if (args.positional.size() != 1 || !args.Has("script")) return Usage();
+  MisEngineOptions opts;
+  std::string algo = args.Get("algo", "twok");
+  if (algo == "baseline") {
+    opts.degree_sort = false;
+    opts.swap = SwapMode::kNone;
+  } else if (algo == "greedy") {
+    opts.swap = SwapMode::kNone;
+  } else if (algo == "onek") {
+    opts.swap = SwapMode::kOneK;
+  } else if (algo == "twok") {
+    opts.swap = SwapMode::kTwoK;
+  } else {
+    return Usage();
+  }
+  opts.max_swap_rounds =
+      static_cast<uint32_t>(std::atoi(args.Get("rounds", "0").c_str()));
+  if (!ParseCount(args.Get("shards", "0"), 0, kMaxAdjacencyShards,
+                  &opts.pipeline.num_shards)) {
+    std::fprintf(stderr, "error: --shards must be in [0, %u]\n",
+                 kMaxAdjacencyShards);
+    return 1;
+  }
+  if (!ParseCount(args.Get("threads", "1"), 0, 4096,
+                  &opts.pipeline.num_threads)) {
+    std::fprintf(stderr, "error: --threads must be in [0, 4096]\n");
+    return 1;
+  }
+  opts.pipeline.compact_threshold_entries = std::strtoull(
+      args.Get("compact-threshold", "65536").c_str(), nullptr, 10);
+
+  // Same degrade-loudly rule as `solve`: a manifest whose sorted flag was
+  // cleared cannot run the sorted-order algorithms.
+  if (IsManifestFile(args.positional[0]) && opts.degree_sort) {
+    ShardedAdjacencyManifest manifest;
+    Status ms = ReadShardedAdjacencyManifest(args.positional[0], &manifest);
+    if (!ms.ok()) return Fail(ms);
+    if (!manifest.header.IsDegreeSorted()) {
+      WarnNotDegreeSorted(args.positional[0]);
+      opts.degree_sort = false;
+    }
+  }
+
+  MisEngine engine(opts);
+  Status s = engine.Open(args.positional[0]);
+  if (!s.ok()) return Fail(s);
+  {
+    EpochSnapshotRef snap = engine.Snapshot();
+    std::printf("opened %s: epoch %llu, %llu vertices in set\n",
+                args.positional[0].c_str(),
+                static_cast<unsigned long long>(snap->epoch()),
+                static_cast<unsigned long long>(snap->set_size()));
+  }
+
+  std::FILE* f = std::fopen(args.Get("script").c_str(), "r");
+  if (f == nullptr) {
+    return Fail(Status::NotFound("cannot open session script '" +
+                                 args.Get("script") + "'"));
+  }
+  auto script_error = [&](uint64_t line_no, const std::string& what) {
+    std::fclose(f);
+    return Fail(Status::InvalidArgument(
+        "session script '" + args.Get("script") + "' line " +
+        std::to_string(line_no) + ": " + what));
+  };
+
+  std::vector<EdgeUpdate> queued;
+  uint64_t line_no = 0;
+  std::string line;
+  bool eof = false;
+  while (!eof) {
+    // Read one whole line of any length (newline stripped).
+    line.clear();
+    char chunk[256];
+    bool got = false;
+    while (std::fgets(chunk, sizeof(chunk), f) != nullptr) {
+      got = true;
+      line.append(chunk);
+      if (!line.empty() && line.back() == '\n') {
+        line.pop_back();
+        break;
+      }
+    }
+    if (!got) {
+      eof = true;
+      if (line.empty()) break;
+    }
+    line_no++;
+    const char* p = line.c_str();
+    while (*p == ' ' || *p == '\t') p++;
+    if (*p == '\0' || *p == '#') continue;
+
+    if (*p == '+' || *p == '-') {
+      const char op = *p++;
+      char* end = nullptr;
+      unsigned long long u = std::strtoull(p, &end, 10);
+      if (end == p) return script_error(line_no, "missing vertex ids");
+      p = end;
+      unsigned long long v = std::strtoull(p, &end, 10);
+      if (end == p) return script_error(line_no, "missing second vertex id");
+      if (u > 0xFFFFFFFFull || v > 0xFFFFFFFFull) {
+        return script_error(line_no, "vertex id does not fit 32 bits");
+      }
+      queued.push_back(op == '+'
+                           ? EdgeUpdate::Insert(static_cast<VertexId>(u),
+                                                static_cast<VertexId>(v))
+                           : EdgeUpdate::Delete(static_cast<VertexId>(u),
+                                                static_cast<VertexId>(v)));
+      continue;
+    }
+
+    // Verb = first whitespace-delimited word.
+    const char* word_end = p;
+    while (*word_end != '\0' && *word_end != ' ' && *word_end != '\t') {
+      word_end++;
+    }
+    std::string verb(p, static_cast<size_t>(word_end - p));
+    if (verb == "apply") {
+      s = engine.ApplyBatch(queued);
+      if (!s.ok()) {
+        std::fclose(f);
+        return Fail(s);
+      }
+      std::printf("applied %llu updates (staleness %llu)\n",
+                  static_cast<unsigned long long>(queued.size()),
+                  static_cast<unsigned long long>(engine.staleness()));
+      queued.clear();
+    } else if (verb == "repair") {
+      s = engine.Repair();
+      if (!s.ok()) {
+        std::fclose(f);
+        return Fail(s);
+      }
+      std::printf("repaired successor state\n");
+    } else if (verb == "compact") {
+      s = engine.Compact(/*force=*/true);
+      if (!s.ok()) {
+        std::fclose(f);
+        return Fail(s);
+      }
+      std::printf("compacted pending delta\n");
+    } else if (verb == "publish") {
+      EpochSnapshotRef snap = engine.Publish();
+      const EpochStats& es = snap->stats();
+      std::printf("published epoch %llu: %llu vertices (%llu batches, "
+                  "%llu updates, %llu repair passes re-added %llu)\n",
+                  static_cast<unsigned long long>(snap->epoch()),
+                  static_cast<unsigned long long>(snap->set_size()),
+                  static_cast<unsigned long long>(es.batches),
+                  static_cast<unsigned long long>(es.updates),
+                  static_cast<unsigned long long>(es.repair_passes),
+                  static_cast<unsigned long long>(es.repair_added));
+    } else if (verb == "query") {
+      EpochSnapshotRef snap = engine.Snapshot();
+      std::printf("query (epoch %llu):",
+                  static_cast<unsigned long long>(snap->epoch()));
+      p = word_end;
+      bool any = false;
+      while (true) {
+        char* end = nullptr;
+        unsigned long long v = std::strtoull(p, &end, 10);
+        if (end == p) break;
+        p = end;
+        any = true;
+        if (v >= snap->set().size()) {
+          std::printf(" %llu=out-of-range", v);
+        } else {
+          std::printf(" %llu=%s", v,
+                      snap->Contains(static_cast<VertexId>(v)) ? "in"
+                                                               : "out");
+        }
+      }
+      std::printf("\n");
+      if (!any) return script_error(line_no, "query needs vertex ids");
+    } else {
+      return script_error(line_no, "unknown verb '" + verb + "'");
+    }
+  }
+  std::fclose(f);
+  if (!queued.empty()) {
+    std::fprintf(stderr,
+                 "warning: %llu queued updates were never applied "
+                 "(script ended without 'apply')\n",
+                 static_cast<unsigned long long>(queued.size()));
+  }
+
+  EpochSnapshotRef final_snap = engine.Snapshot();
+  std::printf("session end: epoch %llu, %llu vertices in set, "
+              "staleness %llu\n",
+              static_cast<unsigned long long>(final_snap->epoch()),
+              static_cast<unsigned long long>(final_snap->set_size()),
+              static_cast<unsigned long long>(engine.staleness()));
+  if (args.Has("stats")) {
+    std::printf("  degree_sorted=%s\n",
+                engine.open_result().degree_sorted ? "true" : "false");
+    if (engine.streaming_stats() != nullptr) {
+      const StreamingMisStats& st = *engine.streaming_stats();
+      std::printf("  session totals: %llu updates, %llu evictions, "
+                  "%llu repair passes, %llu delta entries pending\n",
+                  static_cast<unsigned long long>(st.updates_applied),
+                  static_cast<unsigned long long>(st.evictions),
+                  static_cast<unsigned long long>(st.repair_passes),
+                  static_cast<unsigned long long>(st.pending_delta_entries));
+    }
+  }
+  if (args.Has("out")) {
+    s = WriteSetText(final_snap->set(), args.Get("out"));
     if (!s.ok()) return Fail(s);
     std::printf("  members written to %s\n", args.Get("out").c_str());
   }
@@ -716,6 +1034,7 @@ int Main(int argc, char** argv) {
   if (cmd == "cover") return CmdCover(args);
   if (cmd == "color") return CmdColor(args);
   if (cmd == "update") return CmdUpdate(args);
+  if (cmd == "engine") return CmdEngine(args);
   if (cmd == "unshard") return CmdUnshard(args);
   return Usage();
 }
