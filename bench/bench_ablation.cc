@@ -105,7 +105,7 @@ int Main() {
                                            stats.bytes_written)
                     .c_str(),
                 FormatSeconds(timer.ElapsedSeconds()).c_str());
-    (void)RemoveFileIfExists(out);
+    SEMIS_BENCH_CHECK_OK(RemoveFileIfExists(out));
   }
   std::printf("(smaller fan-in => more merge passes => more I/O: the\n"
               "log_{M/B} term of the paper's Table 1 cost)\n");

@@ -22,6 +22,8 @@
 // the decoder threads, so the cursor cannot hide traffic in its workers.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -84,23 +86,24 @@ void FoldRecord(VertexId id, const VertexId* begin, const VertexId* end,
 
 struct BlockDecodeEnv {
   BlockDecodeEnv() {
-    (void)ScratchDir::Create("semis-blockbench", &scratch);
+    SEMIS_BENCH_CHECK_OK(ScratchDir::Create("semis-blockbench", &scratch));
     Graph graph = GeneratePlrg(
         PlrgSpec::ForVerticesAndAvgDegree(BenchVertexCount(), 8.0), 987);
     num_vertices = graph.NumVertices();
     directed_edges = graph.NumDirectedEdges();
     std::string mono = scratch.NewFilePath("graph.adj");
-    (void)WriteGraphToAdjacencyFile(graph, mono);
+    SEMIS_BENCH_CHECK_OK(WriteGraphToAdjacencyFile(graph, mono));
     std::string sorted = scratch.NewFilePath("sorted.sadj");
-    (void)BuildDegreeSortedAdjacencyFile(mono, sorted, DegreeSortOptions{});
+    SEMIS_BENCH_CHECK_OK(
+        BuildDegreeSortedAdjacencyFile(mono, sorted, DegreeSortOptions{}));
     manifest = scratch.NewFilePath("sharded.sadjs");
-    (void)ShardAdjacencyFile(sorted, manifest, kNumShards);
+    SEMIS_BENCH_CHECK_OK(ShardAdjacencyFile(sorted, manifest, kNumShards));
     // Order-sensitive checksum of the reference stream: every strategy
     // below must reproduce it, so a reordering/dropping bug aborts the
     // timing loop instead of producing a fast wrong number.
     reference_checksum = 0;
     ShardedAdjacencyScanner scanner;
-    (void)scanner.Open(manifest);
+    SEMIS_BENCH_CHECK_OK(scanner.Open(manifest));
     VertexRecordView view;
     bool has_next = false;
     uint64_t position = 0;

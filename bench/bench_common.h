@@ -6,6 +6,8 @@
 #define SEMIS_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,21 @@
 
 namespace semis {
 namespace bench {
+
+/// Aborts the bench binary when a setup step fails. Benchmarks have no
+/// caller to propagate to, and timing a fixture that silently failed to
+/// build produces plausible-looking garbage -- crash loudly instead.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// CheckOk with the expression itself as the label.
+#define SEMIS_BENCH_CHECK_OK(expr) \
+  ::semis::bench::CheckOk((expr), #expr)
 
 /// Results of every paper algorithm on one dataset.
 struct SuiteResult {

@@ -21,6 +21,8 @@
 // solve cost pollutes the numbers.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -55,15 +57,15 @@ constexpr uint32_t kNumShards = 16;
 
 struct EngineEnv {
   EngineEnv() {
-    (void)ScratchDir::Create("semis-enginebench", &scratch);
+    SEMIS_BENCH_CHECK_OK(ScratchDir::Create("semis-enginebench", &scratch));
     Graph graph = GeneratePlrg(
         PlrgSpec::ForVerticesAndAvgDegree(BenchVertexCount(), 8.0), 777);
     num_vertices = graph.NumVertices();
     std::string mono = scratch.NewFilePath("graph.adj");
-    (void)WriteGraphToAdjacencyFile(graph, mono);
+    SEMIS_BENCH_CHECK_OK(WriteGraphToAdjacencyFile(graph, mono));
     sorted_path = scratch.NewFilePath("sorted.sadj");
-    (void)BuildDegreeSortedAdjacencyFile(mono, sorted_path,
-                                         DegreeSortOptions{});
+    SEMIS_BENCH_CHECK_OK(BuildDegreeSortedAdjacencyFile(mono, sorted_path,
+                                         DegreeSortOptions{}));
     std::printf(
         "# bench_engine_snapshot: %llu vertices, %u shards, "
         "%u hardware threads\n",

@@ -52,7 +52,7 @@ int Main() {
     std::snprintf(row[4], 32, "%.3f",
                   ScVertexBound(model) / model.ExpectedVertices());
     table.PrintRow({row[0], row[1], row[2], row[3], row[4]});
-    (void)RemoveFileIfExists(sorted);
+    SEMIS_BENCH_CHECK_OK(RemoveFileIfExists(sorted));
   }
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());

@@ -57,7 +57,7 @@ int Main() {
     std::snprintf(row[5], 32, "%.4f",
                   static_cast<double>(two_k.set_size) / bound);
     table.PrintRow({row[0], row[1], row[2], row[3], row[4], row[5]});
-    (void)RemoveFileIfExists(sorted);
+    SEMIS_BENCH_CHECK_OK(RemoveFileIfExists(sorted));
   }
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());

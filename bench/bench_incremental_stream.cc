@@ -16,6 +16,8 @@
 // with the 1-thread path being the sequential reference.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -49,16 +51,16 @@ constexpr uint32_t kNumShards = 16;
 
 struct StreamEnv {
   StreamEnv() {
-    (void)ScratchDir::Create("semis-streambench", &scratch);
+    SEMIS_BENCH_CHECK_OK(ScratchDir::Create("semis-streambench", &scratch));
     Graph graph = GeneratePlrg(
         PlrgSpec::ForVerticesAndAvgDegree(BenchVertexCount(), 8.0), 777);
     num_vertices = graph.NumVertices();
     directed_edges = graph.NumDirectedEdges();
     std::string mono = scratch.NewFilePath("graph.adj");
-    (void)WriteGraphToAdjacencyFile(graph, mono);
+    SEMIS_BENCH_CHECK_OK(WriteGraphToAdjacencyFile(graph, mono));
     sorted_path = scratch.NewFilePath("sorted.sadj");
-    (void)BuildDegreeSortedAdjacencyFile(mono, sorted_path,
-                                         DegreeSortOptions{});
+    SEMIS_BENCH_CHECK_OK(BuildDegreeSortedAdjacencyFile(mono, sorted_path,
+                                         DegreeSortOptions{}));
     std::printf(
         "# bench_incremental_stream: %llu vertices, %llu directed edges, "
         "%u shards, %u hardware threads\n",

@@ -4,6 +4,8 @@
 // costs the paper's Table 1 I/O model abstracts.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "core/greedy.h"
 #include "gen/plrg.h"
 #include "graph/adjacency_file.h"
@@ -19,10 +21,10 @@ namespace {
 // Shared fixture state: one mid-sized PLRG written to a scratch file.
 struct MicroEnv {
   MicroEnv() {
-    (void)ScratchDir::Create("semis-micro", &scratch);
+    SEMIS_BENCH_CHECK_OK(ScratchDir::Create("semis-micro", &scratch));
     graph = GeneratePlrg(PlrgSpec::ForVertexCount(100000, 2.0), 7);
     path = scratch.NewFilePath("graph");
-    (void)WriteGraphToAdjacencyFile(graph, path);
+    SEMIS_BENCH_CHECK_OK(WriteGraphToAdjacencyFile(graph, path));
   }
   ScratchDir scratch;
   Graph graph;

@@ -15,6 +15,8 @@
 //     which is reported, not hidden.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <cstdio>
 #include <thread>
 
@@ -45,18 +47,18 @@ constexpr uint32_t kNumShards = 16;
 
 struct ParallelGreedyEnv {
   ParallelGreedyEnv() {
-    (void)ScratchDir::Create("semis-pgreedybench", &scratch);
+    SEMIS_BENCH_CHECK_OK(ScratchDir::Create("semis-pgreedybench", &scratch));
     Graph graph =
         GeneratePlrg(PlrgSpec::ForVerticesAndAvgDegree(BenchVertexCount(), 8.0),
                      4321);
     directed_edges = graph.NumDirectedEdges();
     std::string mono = scratch.NewFilePath("graph.adj");
-    (void)WriteGraphToAdjacencyFile(graph, mono);
+    SEMIS_BENCH_CHECK_OK(WriteGraphToAdjacencyFile(graph, mono));
     sorted_path = scratch.NewFilePath("sorted.sadj");
-    (void)BuildDegreeSortedAdjacencyFile(mono, sorted_path,
-                                         DegreeSortOptions{});
+    SEMIS_BENCH_CHECK_OK(BuildDegreeSortedAdjacencyFile(mono, sorted_path,
+                                         DegreeSortOptions{}));
     manifest = scratch.NewFilePath("sharded.sadjs");
-    (void)ShardAdjacencyFile(sorted_path, manifest, kNumShards);
+    SEMIS_BENCH_CHECK_OK(ShardAdjacencyFile(sorted_path, manifest, kNumShards));
     std::printf(
         "# bench_parallel_greedy: %llu vertices, %llu directed edges, "
         "%u shards, %u hardware threads\n",
@@ -65,7 +67,7 @@ struct ParallelGreedyEnv {
         std::thread::hardware_concurrency());
     // Reference result: the monolithic sequential scan.
     AlgoResult ref;
-    (void)RunGreedy(sorted_path, GreedyOptions{}, &ref);
+    SEMIS_BENCH_CHECK_OK(RunGreedy(sorted_path, GreedyOptions{}, &ref));
     reference_set = ref.in_set;
     reference_size = ref.set_size;
   }

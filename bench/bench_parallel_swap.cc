@@ -13,6 +13,8 @@
 //     not hidden.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -45,19 +47,19 @@ constexpr uint32_t kNumShards = 16;
 
 struct ParallelEnv {
   ParallelEnv() {
-    (void)ScratchDir::Create("semis-parbench", &scratch);
+    SEMIS_BENCH_CHECK_OK(ScratchDir::Create("semis-parbench", &scratch));
     Graph graph =
         GeneratePlrg(PlrgSpec::ForVerticesAndAvgDegree(BenchVertexCount(), 8.0),
                      1234);
     directed_edges = graph.NumDirectedEdges();
     std::string mono = scratch.NewFilePath("graph.adj");
-    (void)WriteGraphToAdjacencyFile(graph, mono);
+    SEMIS_BENCH_CHECK_OK(WriteGraphToAdjacencyFile(graph, mono));
     sorted_path = scratch.NewFilePath("sorted.sadj");
-    (void)BuildDegreeSortedAdjacencyFile(mono, sorted_path,
-                                         DegreeSortOptions{});
+    SEMIS_BENCH_CHECK_OK(BuildDegreeSortedAdjacencyFile(mono, sorted_path,
+                                         DegreeSortOptions{}));
     manifest = scratch.NewFilePath("sharded.sadjs");
-    (void)ShardAdjacencyFile(sorted_path, manifest, kNumShards);
-    (void)RunGreedy(sorted_path, GreedyOptions{}, &greedy);
+    SEMIS_BENCH_CHECK_OK(ShardAdjacencyFile(sorted_path, manifest, kNumShards));
+    SEMIS_BENCH_CHECK_OK(RunGreedy(sorted_path, GreedyOptions{}, &greedy));
     std::printf(
         "# bench_parallel_swap: %llu vertices, %llu directed edges, "
         "%u shards, %u hardware threads\n",
@@ -68,7 +70,7 @@ struct ParallelEnv {
     AlgoResult ref;
     ParallelSwapOptions opts;
     opts.num_threads = 1;
-    (void)RunParallelSwap(manifest, greedy.in_set, opts, &ref);
+    SEMIS_BENCH_CHECK_OK(RunParallelSwap(manifest, greedy.in_set, opts, &ref));
     reference_set = ref.in_set;
     reference_size = ref.set_size;
   }

@@ -35,7 +35,7 @@ int Main() {
   Status s = WriteGraphToAdjacencyFile(g, unsorted);
   if (!s.ok()) return 1;
   uint64_t file_size = 0;
-  (void)GetFileSize(unsorted, &file_size);
+  SEMIS_BENCH_CHECK_OK(GetFileSize(unsorted, &file_size));
   std::printf("\nadjacency file: %s (%llu vertices + %llu directed edges)\n",
               MemoryTracker::FormatBytes(file_size).c_str(),
               static_cast<unsigned long long>(g.NumVertices()),

@@ -58,7 +58,7 @@ int Main() {
   for (const DatasetSpec& spec : PaperDatasets()) {
     const SuiteResult& s = suites[i++];
     uint64_t disk = 0;
-    (void)GetFileSize(s.files.adjacency_path, &disk);
+    SEMIS_BENCH_CHECK_OK(GetFileSize(s.files.adjacency_path, &disk));
     mem_table.PrintRow(
         {spec.name,
          s.ran_dynamic_update

@@ -50,7 +50,7 @@ int Main() {
       s = RunGreedy(sorted, {}, &greedy);
       if (!s.ok()) break;
       real_sum += static_cast<double>(greedy.set_size);
-      (void)RemoveFileIfExists(sorted);
+      SEMIS_BENCH_CHECK_OK(RemoveFileIfExists(sorted));
     }
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());

@@ -30,7 +30,7 @@ int main() {
     Graph g = GeneratePlrg(PlrgSpec::ForVerticesAndAvgDegree(300000, 7.0), 5);
     if (!WriteEdgeListText(g, edge_list).ok()) return 1;
     uint64_t size = 0;
-    (void)GetFileSize(edge_list, &size);
+    GetFileSize(edge_list, &size).IgnoreError();  // display only
     std::printf("    %u vertices, %llu edges, %.1f MB of text\n",
                 g.NumVertices(),
                 static_cast<unsigned long long>(g.NumEdges()),
@@ -72,7 +72,7 @@ int main() {
   }
 
   uint64_t disk = 0;
-  (void)GetFileSize(adjacency, &disk);
+  GetFileSize(adjacency, &disk).IgnoreError();  // display only
   std::printf("\nresults\n");
   std::printf("  independent set     : %llu vertices\n",
               static_cast<unsigned long long>(result.set_size));

@@ -272,12 +272,12 @@ Status MisEngine::OpenSharded(const std::string& manifest_path,
 }
 
 EpochSnapshotRef MisEngine::Snapshot() const {
-  std::lock_guard<std::mutex> lock(publish_mu_);
+  MutexLock lock(&publish_mu_);
   return current_;
 }
 
 void MisEngine::Install(EpochSnapshotRef snapshot) {
-  std::lock_guard<std::mutex> lock(publish_mu_);
+  MutexLock lock(&publish_mu_);
   current_ = std::move(snapshot);
 }
 
@@ -376,8 +376,7 @@ Status MisEngine::Close() {
   manifest_path_.clear();
   num_vertices_ = 0;
   inter_dir_.clear();
-  scratch_.Remove();
-  return Status::OK();
+  return scratch_.Remove();
 }
 
 }  // namespace semis

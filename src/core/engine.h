@@ -38,7 +38,6 @@
 #define SEMIS_CORE_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +47,7 @@
 #include "io/scratch.h"
 #include "util/bit_vector.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace semis {
 
@@ -182,27 +182,28 @@ class MisEngine {
   /// configured and needed) and, with pipeline.num_shards > 1, split
   /// into shards first; both intermediates live in the engine's scratch
   /// directory until Close.
-  Status Open(const std::string& path);
+  Status Open(const std::string& path) EXCLUDES(publish_mu_);
 
   /// As Open but the input must be a SADJS manifest: any other file
   /// fails with the manifest reader's diagnosis instead of falling
   /// through to the monolithic path. This is the Solver::SolveShardedFile
   /// contract (and the `update` subcommand's entry point).
-  Status OpenSharded(const std::string& manifest_path);
+  Status OpenSharded(const std::string& manifest_path)
+      EXCLUDES(publish_mu_);
 
   /// Binds to a SADJS manifest WITHOUT solving: `initial_set` (an
   /// independent set over the manifest's base graph, e.g. a previous
   /// session's output) becomes epoch 1 as-is. open_result() holds only
   /// the adopted set.
   Status OpenSharded(const std::string& manifest_path,
-                     const BitVector& initial_set);
+                     const BitVector& initial_set) EXCLUDES(publish_mu_);
 
   /// True between a successful Open and Close.
   bool is_open() const { return open_; }
 
   /// The current epoch. Never blocks on mutation; never returns a
   /// partially-published epoch. Null only before Open / after Close.
-  EpochSnapshotRef Snapshot() const;
+  EpochSnapshotRef Snapshot() const EXCLUDES(publish_mu_);
 
   /// Eagerly materializes the mutation arm: binds ShardedStreamingMis to
   /// the manifest (sharding a sequential monolithic open first) and
@@ -212,28 +213,29 @@ class MisEngine {
   /// NOTE: a replayed overlay advances only the private successor state;
   /// the published epoch still shows the base-graph set until the next
   /// Publish().
-  Status Prepare();
+  Status Prepare() EXCLUDES(publish_mu_);
 
   /// Applies one batch of edge updates to the private successor state
   /// (eager eviction + durable delta logging, ShardedStreamingMis
   /// semantics). Published epochs are unaffected until Publish().
-  Status ApplyBatch(const std::vector<EdgeUpdate>& updates);
+  Status ApplyBatch(const std::vector<EdgeUpdate>& updates)
+      EXCLUDES(publish_mu_);
 
   /// Restores maximality of the successor state with one merged pass
   /// over base shards + delta. Safe to run while readers hold snapshots.
-  Status Repair();
+  Status Repair() EXCLUDES(publish_mu_);
 
   /// Folds saturated (or, with `force`, all pending) shard deltas into
   /// the base files. Storage-only: the successor's effective graph and
   /// set are unchanged, so no new epoch is implied.
-  Status Compact(bool force = false);
+  Status Compact(bool force = false) EXCLUDES(publish_mu_);
 
   /// Freezes the successor state into a new epoch and atomically swaps
   /// it in as the current snapshot; the previous epoch retires when its
   /// last reader drops. Per-epoch stats carry the apply/repair deltas
   /// since the previous publication. A no-op (returning the current
   /// epoch) when nothing was mutated since the last publication.
-  EpochSnapshotRef Publish();
+  EpochSnapshotRef Publish() EXCLUDES(publish_mu_);
 
   /// Updates applied to the successor state since the last Publish() --
   /// how stale the served epoch is.
@@ -256,7 +258,7 @@ class MisEngine {
   /// Drops the mutation arm and the current epoch (outstanding snapshot
   /// references stay valid) and releases the scratch directory. The
   /// engine can be reopened.
-  Status Close();
+  Status Close() EXCLUDES(publish_mu_);
 
  private:
   // Lazily creates the intermediate-artifact directory.
@@ -274,7 +276,7 @@ class MisEngine {
   Status OpenShardedInternal(const std::string& manifest_path,
                              SolveResult* res);
   // Swaps `snapshot` in as the current epoch.
-  void Install(EpochSnapshotRef snapshot);
+  void Install(EpochSnapshotRef snapshot) EXCLUDES(publish_mu_);
   // Stats of the successor session at the last publication, for
   // computing per-epoch deltas.
   struct PublishedMark {
@@ -304,9 +306,14 @@ class MisEngine {
   bool dirty_ = false;
   PublishedMark mark_;
   uint64_t epoch_ = 0;
-  // Guards only `current_`; held for pointer copies, never across I/O.
-  mutable std::mutex publish_mu_;
-  EpochSnapshotRef current_;
+  // Guards only `current_`: held for the pointer copy in Snapshot() and
+  // the pointer swap in Install(), never across I/O or compute. That is
+  // the whole RCU rule, and the EXCLUDES(publish_mu_) contract on every
+  // mutating call above makes the compiler enforce it: a mutator that
+  // tried to do its work while holding the publication mutex would fail
+  // the thread-safety analysis.
+  mutable Mutex publish_mu_;
+  EpochSnapshotRef current_ GUARDED_BY(publish_mu_);
 };
 
 }  // namespace semis

@@ -99,6 +99,13 @@ struct StreamingMisStats {
 };
 
 /// Maintains an independent set over "sharded base file + SDELTA overlay".
+///
+/// Concurrency contract: this class holds no mutex on purpose. All
+/// public methods are externally serialized per object (MisEngine is the
+/// one concurrent caller and serializes them); Repair's internal
+/// parallelism hands each worker a private slice and merges after the
+/// thread-pool barrier, which is the happens-before edge. See
+/// docs/architecture.md ("Static analysis") for the conventions.
 class ShardedStreamingMis {
  public:
   ShardedStreamingMis() = default;

@@ -310,6 +310,8 @@ Status OneKSwapRun::Execute(AdjacencyFileScanner* scanner,
     res->rounds++;
     if (!options_.use_counting_trick) {
       size_t bytes = 0;
+      // Order-insensitive sum for memory accounting.
+      // semis-lint: allow(unordered-iteration)
       for (const auto& kv : inv_index_) {
         bytes += sizeof(kv) + kv.second.capacity() * sizeof(VertexId);
       }

@@ -6,6 +6,11 @@
 // prefetch and decode shards ahead of the scan while the calling thread
 // commits records strictly in global manifest order.
 //
+// Concurrency contract: no mutex of its own -- all shared state is
+// inside ManifestOrderedShardCursor's annotated block ring; the commit
+// loop runs single-threaded on the calling thread. See
+// docs/architecture.md ("Static analysis") for the conventions.
+//
 // Determinism contract: the commit order equals the manifest order for
 // every shard/thread count, so the final state array (and therefore the
 // independent set) is byte-identical to sequential RunGreedy on the

@@ -73,11 +73,14 @@ class ParallelSwapRun {
 
     size_t ApproxBytes() const {
       size_t bytes = 0;
+      // Order-insensitive sums for memory accounting.
+      // semis-lint: allow(unordered-iteration)
       for (const auto& kv : buckets) {
         bytes += sizeof(kv) + kv.second.anchors.capacity() * sizeof(VertexId) +
                  kv.second.pairs.capacity() *
                      sizeof(std::pair<VertexId, VertexId>);
       }
+      // semis-lint: allow(unordered-iteration)
       for (const auto& kv : keys_with_w) {
         bytes += sizeof(kv) + kv.second.capacity() * sizeof(uint64_t);
       }

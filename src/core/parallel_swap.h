@@ -23,6 +23,12 @@
 // resolution is by vertex id, not file position), but satisfies the same
 // invariants: the returned set is independent and, with the final
 // maximality pass, maximal.
+//
+// Concurrency contract: no mutex -- shared per-vertex state is atomics
+// with the ownership/commutativity rules above, per-worker scratch is
+// indexed by worker id, and the phase barrier (ThreadPool completion) is
+// the happens-before edge for everything a later phase reads. See
+// docs/architecture.md ("Static analysis") for the conventions.
 #ifndef SEMIS_CORE_PARALLEL_SWAP_H_
 #define SEMIS_CORE_PARALLEL_SWAP_H_
 

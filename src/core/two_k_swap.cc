@@ -314,10 +314,13 @@ Status TwoKSwapRun::PreSwapScan(AdjacencyFileScanner* scanner,
   }
   sc_peak_vertices_ = std::max(sc_peak_vertices_, sc_vertices_this_scan_);
   size_t bytes = 0;
+  // Order-insensitive sums for memory accounting.
+  // semis-lint: allow(unordered-iteration)
   for (const auto& kv : buckets_) {
     bytes += sizeof(kv) + kv.second.anchors.capacity() * sizeof(VertexId) +
              kv.second.pairs.capacity() * sizeof(std::pair<VertexId, VertexId>);
   }
+  // semis-lint: allow(unordered-iteration)
   for (const auto& kv : keys_with_w_) {
     bytes += sizeof(kv) + kv.second.capacity() * sizeof(uint64_t);
   }

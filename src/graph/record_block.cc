@@ -36,7 +36,7 @@ void RecordBlock::Clear() {
 
 RecordBlock RecordBlockPool::Acquire() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!free_.empty()) {
       RecordBlock block = std::move(free_.back());
       free_.pop_back();
@@ -49,17 +49,17 @@ RecordBlock RecordBlockPool::Acquire() {
 
 void RecordBlockPool::Release(RecordBlock&& block) {
   block.Clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   free_.push_back(std::move(block));
 }
 
 uint64_t RecordBlockPool::blocks_created() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return blocks_created_;
 }
 
 size_t RecordBlockPool::pooled_capacity_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t bytes = 0;
   for (const RecordBlock& block : free_) bytes += block.capacity_bytes();
   return bytes;

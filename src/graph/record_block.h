@@ -17,11 +17,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "util/common.h"
+#include "util/thread_annotations.h"
 
 namespace semis {
 
@@ -123,24 +123,24 @@ class RecordBlockPool {
 
   /// Pops a pooled block (cleared, capacity retained) or creates a fresh
   /// empty one when the pool is dry.
-  RecordBlock Acquire();
+  RecordBlock Acquire() EXCLUDES(mu_);
 
   /// Clears `block` and returns it to the free list.
-  void Release(RecordBlock&& block);
+  void Release(RecordBlock&& block) EXCLUDES(mu_);
 
   /// Blocks created because the pool was dry (the allocation count of the
   /// block layer: in steady state this stops growing).
-  uint64_t blocks_created() const;
+  uint64_t blocks_created() const EXCLUDES(mu_);
 
   /// Total allocated capacity of the blocks currently in the free list.
   /// After a drained scan returned every block, this is the arena
   /// footprint of the whole ring.
-  size_t pooled_capacity_bytes() const;
+  size_t pooled_capacity_bytes() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<RecordBlock> free_;
-  uint64_t blocks_created_ = 0;
+  mutable Mutex mu_;
+  std::vector<RecordBlock> free_ GUARDED_BY(mu_);
+  uint64_t blocks_created_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace semis

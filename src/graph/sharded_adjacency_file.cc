@@ -392,7 +392,7 @@ ManifestOrderedShardCursor::ManifestOrderedShardCursor(IoStats* stats)
     : stats_(stats) {}
 
 ManifestOrderedShardCursor::~ManifestOrderedShardCursor() {
-  (void)Close();
+  Close().IgnoreError();  // a destructor cannot propagate
   ReleaseCurrentBlock();
 }
 
@@ -435,14 +435,20 @@ Status ManifestOrderedShardCursor::Open(const std::string& manifest_path,
   // pool pointer moves on.
   ReleaseCurrentBlock();
   blocks_ = ring.pool != nullptr ? ring.pool : &own_blocks_;
-  // Fresh vector rather than resize: resize would move-or-copy existing
-  // elements, and ShardStream is move-only with a non-noexcept move.
-  streams_ = std::vector<ShardStream>(manifest_.num_shards());
+  {
+    // No decoder is running yet, but the ring state is guarded by mu_ and
+    // the lock is uncontended here -- take it so the discipline holds on
+    // every write path.
+    MutexLock lock(&mu_);
+    // Fresh vector rather than resize: resize would move-or-copy existing
+    // elements, and ShardStream is move-only with a non-noexcept move.
+    streams_ = std::vector<ShardStream>(manifest_.num_shards());
+    consume_shard_ = 0;
+    cancel_ = false;
+    buffered_bytes_ = 0;
+    peak_buffered_bytes_ = 0;
+  }
   worker_io_.assign(pool->size(), IoStats());
-  consume_shard_ = 0;
-  cancel_ = false;
-  buffered_bytes_ = 0;
-  peak_buffered_bytes_ = 0;
   blocks_decoded_.store(0, std::memory_order_relaxed);
   current_pos_ = 0;
   current_bytes_ = 0;
@@ -458,18 +464,19 @@ Status ManifestOrderedShardCursor::Open(const std::string& manifest_path,
 bool ManifestOrderedShardCursor::PublishBlock(uint32_t shard,
                                               RecordBlock* block) {
   const size_t bytes = block->payload_bytes();
+  bool published = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Byte back-pressure with a starvation override: the shard the
     // consumer is waiting on (its queue is empty) may always publish, so
     // the consumer can make progress for ANY geometry -- even a budget
     // smaller than one block. Workers claim shards in ascending order, so
     // the consumer's shard is always either finished or owned by a worker
     // this override lets through; the ring cannot deadlock.
-    space_cv_.wait(lock, [&] {
-      return cancel_ || buffered_bytes_ + bytes <= max_buffered_bytes_ ||
-             (shard == consume_shard_ && streams_[shard].blocks.empty());
-    });
+    while (!(cancel_ || buffered_bytes_ + bytes <= max_buffered_bytes_ ||
+             (shard == consume_shard_ && streams_[shard].blocks.empty()))) {
+      space_cv_.Wait(&mu_);
+    }
     if (!cancel_) {
       buffered_bytes_ += bytes;
       if (buffered_bytes_ > peak_buffered_bytes_) {
@@ -477,29 +484,31 @@ bool ManifestOrderedShardCursor::PublishBlock(uint32_t shard,
       }
       streams_[shard].blocks.push_back(std::move(*block));
       blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
-      ready_cv_.notify_all();
-      lock.unlock();
-      // Refill outside mu_: the replacement block is thread-local until
-      // the next publish, and Acquire takes the pool mutex (and may grow
-      // an arena) -- no reason to stall the consumer or other decoders.
-      *block = blocks_->Acquire();
-      return true;
+      ready_cv_.NotifyAll();
+      published = true;
     }
+  }
+  if (published) {
+    // Refill outside mu_: the replacement block is thread-local until
+    // the next publish, and Acquire takes the pool mutex (and may grow
+    // an arena) -- no reason to stall the consumer or other decoders.
+    *block = blocks_->Acquire();
+    return true;
   }
   blocks_->Release(std::move(*block));
   return false;
 }
 
 void ManifestOrderedShardCursor::FinishShard(uint32_t shard, Status status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   streams_[shard].status = std::move(status);
   streams_[shard].finished = true;
-  ready_cv_.notify_all();
+  ready_cv_.NotifyAll();
 }
 
 void ManifestOrderedShardCursor::DecodeShard(uint32_t shard, size_t worker) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (cancel_) return;  // Close raced ahead; skip the file entirely
   }
   AdjacencyShardReader reader(&worker_io_[worker]);
@@ -537,19 +546,20 @@ Status ManifestOrderedShardCursor::Next(VertexRecordView* view,
       *has_next = true;
       return Status::OK();
     }
-    std::unique_lock<std::mutex> lock(mu_);
     if (current_loaded_) {
       // Drained a block: uncharge its bytes and recycle it. The bytes
       // stayed charged while the consumer held it, so peak_buffered_bytes
-      // covers the consumer's block like the old shard window did.
+      // covers the consumer's block like the old shard window did. The
+      // pool Release happens outside mu_ (it takes the pool's own mutex).
       current_loaded_ = false;
-      buffered_bytes_ -= current_bytes_;
-      space_cv_.notify_all();
-      RecordBlock done = std::move(current_);
-      lock.unlock();
-      blocks_->Release(std::move(done));
-      lock.lock();
+      {
+        MutexLock lock(&mu_);
+        buffered_bytes_ -= current_bytes_;
+        space_cv_.NotifyAll();
+      }
+      blocks_->Release(std::move(current_));
     }
+    MutexLock lock(&mu_);
     while (true) {
       if (cancel_) {
         return Status::InvalidArgument("cursor was closed during the scan");
@@ -559,9 +569,9 @@ Status ManifestOrderedShardCursor::Next(VertexRecordView* view,
         return Status::OK();
       }
       ShardStream& stream = streams_[consume_shard_];
-      ready_cv_.wait(lock, [&] {
-        return cancel_ || !stream.blocks.empty() || stream.finished;
-      });
+      while (!cancel_ && stream.blocks.empty() && !stream.finished) {
+        ready_cv_.Wait(&mu_);
+      }
       if (cancel_) {
         return Status::InvalidArgument("cursor was closed during the scan");
       }
@@ -577,7 +587,7 @@ Status ManifestOrderedShardCursor::Next(VertexRecordView* view,
       // manifest-order point where the failure sits) or advance.
       if (!stream.status.ok()) return stream.status;
       consume_shard_++;
-      space_cv_.notify_all();
+      space_cv_.NotifyAll();
     }
   }
 }
@@ -585,34 +595,51 @@ Status ManifestOrderedShardCursor::Next(VertexRecordView* view,
 Status ManifestOrderedShardCursor::Close() {
   // Serialized so a destructor-driven Close and an explicit one (possibly
   // from another thread, while Next blocks) cannot interleave teardown.
-  std::lock_guard<std::mutex> close_lock(close_mu_);
+  // Lock order close_mu_ -> mu_ (ACQUIRED_AFTER on mu_); nothing takes
+  // them the other way around.
+  MutexLock close_lock(&close_mu_);
   if (!open_.load(std::memory_order_acquire)) return Status::OK();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     cancel_ = true;
     // Wake BOTH sides: decoders blocked on byte headroom and a consumer
     // blocked in Next (which then fails instead of hanging forever).
-    space_cv_.notify_all();
-    ready_cv_.notify_all();
+    space_cv_.NotifyAll();
+    ready_cv_.NotifyAll();
   }
   pool_->WaitForCompletion();
+  // A shard can finish with an I/O error (including a failed reader
+  // Close) that the consumer never reached -- either it stopped at an
+  // earlier shard's error or the caller abandoned the scan. A fully
+  // drained scan surfaced every status through Next already; otherwise
+  // report the first one here instead of dropping it.
+  Status first_error;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    const bool fully_drained = consume_shard_ >= manifest_.num_shards();
+    uint32_t shard = 0;
     for (ShardStream& stream : streams_) {
+      if (!fully_drained && first_error.ok() && shard >= consume_shard_ &&
+          stream.finished && !stream.status.ok()) {
+        first_error = stream.status;
+      }
       while (!stream.blocks.empty()) {
         buffered_bytes_ -= stream.blocks.front().payload_bytes();
         blocks_->Release(std::move(stream.blocks.front()));
         stream.blocks.pop_front();
       }
+      shard++;
     }
     streams_.clear();
+    if (stats_ != nullptr) {
+      if (peak_buffered_bytes_ > stats_->peak_buffered_bytes) {
+        stats_->peak_buffered_bytes = peak_buffered_bytes_;
+      }
+    }
   }
   if (stats_ != nullptr) {
     for (const IoStats& io : worker_io_) stats_->MergeFrom(io);
     stats_->blocks_decoded += blocks_decoded_.load(std::memory_order_relaxed);
-    if (peak_buffered_bytes_ > stats_->peak_buffered_bytes) {
-      stats_->peak_buffered_bytes = peak_buffered_bytes_;
-    }
     const size_t arena = blocks_->pooled_capacity_bytes();
     if (arena > stats_->arena_bytes) stats_->arena_bytes = arena;
   }
@@ -621,7 +648,7 @@ Status ManifestOrderedShardCursor::Close() {
   // the next Open/destruction rather than racing a concurrent Next.
   open_.store(false, std::memory_order_release);
   pool_ = nullptr;
-  return Status::OK();
+  return first_error;
 }
 
 Status ShardAdjacencyFile(const std::string& input_path,

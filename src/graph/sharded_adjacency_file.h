@@ -28,10 +28,8 @@
 #define SEMIS_GRAPH_SHARDED_ADJACENCY_FILE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +39,7 @@
 #include "io/io_stats.h"
 #include "util/common.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace semis {
@@ -296,7 +295,7 @@ class ManifestOrderedShardCursor {
   /// Next record in global order. The view points into the current block
   /// and stays valid until the next call that crosses a block boundary;
   /// like every scanner in this library, consume it before advancing.
-  Status Next(VertexRecordView* view, bool* has_next);
+  Status Next(VertexRecordView* view, bool* has_next) EXCLUDES(mu_);
 
   /// Compatibility flavor of Next for VertexRecord consumers (tests and
   /// generic drains); same lifetime rules.
@@ -308,13 +307,18 @@ class ManifestOrderedShardCursor {
   /// per-worker IoStats plus the ring counters into the caller's stats.
   /// Safe to call twice, from the destructor, and from a different thread
   /// than the consumer's (a concurrently blocked Next wakes with an
-  /// error).
-  Status Close();
+  /// error). When the scan was abandoned before the last record, returns
+  /// the first decode error of a shard the consumer never reached (a
+  /// fully drained scan has already surfaced every error through Next).
+  Status Close() EXCLUDES(close_mu_, mu_);
 
   /// Largest total of decoded-but-unconsumed payload bytes held at any
   /// point (for the memory accounting of algorithms driven by the
   /// cursor). Bounded by the ring budget, not by shard sizes.
-  size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
+  size_t peak_buffered_bytes() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return peak_buffered_bytes_;
+  }
 
   /// Blocks published by the decoders so far.
   uint64_t blocks_decoded() const { return blocks_decoded_; }
@@ -327,12 +331,12 @@ class ManifestOrderedShardCursor {
     bool finished = false;  // decoder is done (status is final)
   };
 
-  void DecodeShard(uint32_t shard, size_t worker);
+  void DecodeShard(uint32_t shard, size_t worker) EXCLUDES(mu_);
   // Publishes `*block` to the ring (blocking on the byte budget) and
   // replaces it with a fresh block from the pool. Returns false when the
   // cursor was cancelled (the block is released, decode must stop).
-  bool PublishBlock(uint32_t shard, RecordBlock* block);
-  void FinishShard(uint32_t shard, Status status);
+  bool PublishBlock(uint32_t shard, RecordBlock* block) EXCLUDES(mu_);
+  void FinishShard(uint32_t shard, Status status) EXCLUDES(mu_);
   void ReleaseCurrentBlock();
 
   IoStats* stats_;
@@ -345,18 +349,26 @@ class ManifestOrderedShardCursor {
   RecordBlockPool* blocks_ = nullptr;
   std::atomic<bool> open_{false};
 
-  std::mutex mu_;
-  std::condition_variable ready_cv_;  // consumer waits for a block / eof
-  std::condition_variable space_cv_;  // decoders wait for byte headroom
-  std::vector<ShardStream> streams_;
+  // Lock hierarchy (docs/architecture.md): close_mu_ -> mu_. Close takes
+  // close_mu_ first to serialize concurrent closers, then mu_ for the
+  // cancel flag and teardown; no path ever takes them the other way
+  // around. Decoders and the consumer take only mu_.
+  mutable Mutex mu_ ACQUIRED_AFTER(close_mu_);
+  CondVar ready_cv_;  // consumer waits for a block / eof
+  CondVar space_cv_;  // decoders wait for byte headroom
+  std::vector<ShardStream> streams_ GUARDED_BY(mu_);
+  // Per-worker I/O counters: worker `w` writes only worker_io_[w] while
+  // the decode job runs; Close reads them only after WaitForCompletion,
+  // so the vector needs no lock (the pool barrier is the happens-before
+  // edge).
   std::vector<IoStats> worker_io_;
-  uint32_t consume_shard_ = 0;  // shard currently being consumed
-  bool cancel_ = false;
-  size_t buffered_bytes_ = 0;
-  size_t peak_buffered_bytes_ = 0;
+  uint32_t consume_shard_ GUARDED_BY(mu_) = 0;  // shard being consumed
+  bool cancel_ GUARDED_BY(mu_) = false;
+  size_t buffered_bytes_ GUARDED_BY(mu_) = 0;
+  size_t peak_buffered_bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> blocks_decoded_{0};
 
-  std::mutex close_mu_;  // serializes concurrent Close calls
+  Mutex close_mu_;  // serializes concurrent Close calls; see mu_ above
 
   // Consumer-side walk state of the current block (consumer thread only).
   RecordBlock current_;

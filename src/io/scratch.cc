@@ -6,7 +6,7 @@
 
 namespace semis {
 
-ScratchDir::~ScratchDir() { Remove(); }
+ScratchDir::~ScratchDir() { Remove().IgnoreError(); }
 
 ScratchDir::ScratchDir(ScratchDir&& other) noexcept
     : path_(std::move(other.path_)), counter_(other.counter_) {
@@ -15,7 +15,7 @@ ScratchDir::ScratchDir(ScratchDir&& other) noexcept
 
 ScratchDir& ScratchDir::operator=(ScratchDir&& other) noexcept {
   if (this != &other) {
-    Remove();
+    Remove().IgnoreError();  // noexcept move cannot propagate
     path_ = std::move(other.path_);
     counter_ = other.counter_;
     other.path_.clear();
@@ -38,7 +38,8 @@ Status ScratchDir::Create(const std::string& prefix, ScratchDir* out) {
   if (::mkdtemp(buf.data()) == nullptr) {
     return Status::IOError("mkdtemp failed for template " + tmpl);
   }
-  out->Remove();
+  // Replacing an existing scratch dir: best effort, the fresh dir wins.
+  out->Remove().IgnoreError();
   out->path_ = buf;
   out->counter_ = 0;
   return Status::OK();
@@ -48,11 +49,17 @@ std::string ScratchDir::NewFilePath(const std::string& tag) {
   return path_ + "/" + tag + "." + std::to_string(counter_++);
 }
 
-void ScratchDir::Remove() {
-  if (path_.empty()) return;
-  std::error_code ec;  // best effort; scratch cleanup must not throw
-  std::filesystem::remove_all(path_, ec);
+Status ScratchDir::Remove() {
+  if (path_.empty()) return Status::OK();
+  std::string path = std::move(path_);
   path_.clear();
+  std::error_code ec;  // error surfaces as a Status; never throws
+  std::filesystem::remove_all(path, ec);
+  if (ec) {
+    return Status::IOError("failed to remove scratch dir " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
 }
 
 }  // namespace semis

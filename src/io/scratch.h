@@ -34,8 +34,13 @@ class ScratchDir {
   /// Returns a unique file path inside the directory, `<tag>.<counter>`.
   std::string NewFilePath(const std::string& tag);
 
-  /// Removes the directory tree now (also done by the destructor).
-  void Remove();
+  /// Removes the directory tree now (also done by the destructor, which
+  /// ignores the result -- a destructor cannot propagate). Reports a
+  /// failure to delete the tree instead of swallowing it: leaked scratch
+  /// space on a long-lived engine is an operational bug the caller must
+  /// hear about. The path is cleared either way, so a failed Remove does
+  /// not retry forever.
+  Status Remove();
 
  private:
   std::string path_;

@@ -4,6 +4,7 @@
 #ifndef SEMIS_UTIL_STATUS_H_
 #define SEMIS_UTIL_STATUS_H_
 
+#include <cassert>
 #include <string>
 #include <utility>
 
@@ -12,7 +13,13 @@ namespace semis {
 /// Outcome of an operation that can fail. Follows the database-engine
 /// convention (LevelDB/RocksDB): functions return a `Status` instead of
 /// throwing; callers test `ok()` and propagate.
-class Status {
+///
+/// `[[nodiscard]]`: silently dropping a Status is how I/O errors turn
+/// into corrupted output, so the compiler rejects it. A call site that
+/// genuinely cannot propagate (a destructor, a best-effort cleanup path)
+/// must say so explicitly with `.IgnoreError()` -- that token is the
+/// greppable audit trail of every swallowed error in the tree.
+class [[nodiscard]] Status {
  public:
   /// Error category. Kept deliberately small; the message carries detail.
   enum class Code {
@@ -68,11 +75,76 @@ class Status {
   /// Renders "OK" or "<category>: <message>" for logs and test output.
   std::string ToString() const;
 
+  /// The ONLY sanctioned way to drop a Status. Deliberately a named
+  /// no-op rather than a void cast: `.IgnoreError()` survives grep and
+  /// code review, `(void)` does not. Use it exclusively where
+  /// propagation is impossible (destructors) or meaningless (cleanup of
+  /// a path that is already failing).
+  void IgnoreError() const {}
+
  private:
   Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
 
   Code code_;
   std::string msg_;
+};
+
+/// A `Status` or, on success, a value of type `T`. The lightweight
+/// analogue of absl::StatusOr for APIs whose natural result is a value
+/// rather than an out-parameter. Like `Status` it is `[[nodiscard]]`:
+/// dropping one silently drops an error.
+///
+/// Accessors assert `ok()`; callers must test before dereferencing
+/// (exactly the `Status` discipline, with the value riding along).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from a value: `return result;` just works.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from a non-OK status: `return Status::IOError(...)` just
+  /// works. Constructing from an OK status is a bug (there would be no
+  /// value), reported as an assertion.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK without a value");
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument(
+          "StatusOr constructed from OK status without a value");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status ( OK iff a value is present).
+  const Status& status() const& { return status_; }
+  /// Moves the status out (for propagation).
+  Status status() && { return std::move(status_); }
+
+  /// The value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// See Status::IgnoreError().
+  void IgnoreError() const {}
+
+ private:
+  Status status_;
+  T value_{};
 };
 
 /// Propagates a non-OK status to the caller. Mirrors RocksDB's pattern.
@@ -81,6 +153,20 @@ class Status {
     ::semis::Status _semis_status = (expr);         \
     if (!_semis_status.ok()) return _semis_status;  \
   } while (0)
+
+/// Unwraps a StatusOr into `lhs`, propagating a non-OK status. `lhs` may
+/// be a declaration (`SEMIS_ASSIGN_OR_RETURN(auto x, MakeX())`).
+#define SEMIS_ASSIGN_OR_RETURN(lhs, expr)                        \
+  SEMIS_ASSIGN_OR_RETURN_IMPL_(                                  \
+      SEMIS_STATUS_CONCAT_(_semis_statusor, __LINE__), lhs, expr)
+
+#define SEMIS_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) return std::move(var).status();     \
+  lhs = std::move(var).value()
+
+#define SEMIS_STATUS_CONCAT_(a, b) SEMIS_STATUS_CONCAT_IMPL_(a, b)
+#define SEMIS_STATUS_CONCAT_IMPL_(a, b) a##b
 
 }  // namespace semis
 

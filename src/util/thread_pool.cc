@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -34,7 +34,7 @@ void ThreadPool::ParallelFor(
 void ThreadPool::BeginParallelFor(size_t num_items,
                                   std::function<void(size_t, size_t)> fn) {
   if (num_items == 0) return;  // job_active_ stays false; Wait is a no-op
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // One job at a time: overlapping Begins would reset the completion
   // barrier mid-job and re-issue in-flight items under the new fn. Abort
   // unconditionally (not assert) so the contract holds under NDEBUG too.
@@ -50,13 +50,13 @@ void ThreadPool::BeginParallelFor(size_t num_items,
   workers_done_ = 0;
   job_active_ = true;
   epoch_++;
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
 }
 
 void ThreadPool::WaitForCompletion() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!job_active_) return;
-  done_cv_.wait(lock, [this] { return workers_done_ == threads_.size(); });
+  while (workers_done_ != threads_.size()) done_cv_.Wait(&mu_);
   job_active_ = false;
   job_fn_ = nullptr;
 }
@@ -65,25 +65,28 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   uint64_t seen_epoch = 0;
   while (true) {
     size_t items = 0;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      MutexLock lock(&mu_);
+      while (!stop_ && epoch_ == seen_epoch) job_cv_.Wait(&mu_);
       if (stop_) return;
       seen_epoch = epoch_;
       items = job_items_;
+      // The pointer (not the guarded member) crosses the lock boundary:
+      // job_fn_ stays valid until WaitForCompletion clears it, which
+      // cannot happen before every worker has passed the workers_done_
+      // barrier below, so invoking through `fn` unlocked is safe.
+      fn = &job_fn_;
     }
-    // job_fn_ stays valid until WaitForCompletion clears it, which cannot
-    // happen before every worker has passed the workers_done_ barrier
-    // below, so the unlocked reference is safe.
     while (true) {
       const size_t item = next_item_.fetch_add(1, std::memory_order_relaxed);
       if (item >= items) break;
-      job_fn_(item, worker_index);
+      (*fn)(item, worker_index);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       workers_done_++;
-      if (workers_done_ == threads_.size()) done_cv_.notify_all();
+      if (workers_done_ == threads_.size()) done_cv_.NotifyAll();
     }
   }
 }

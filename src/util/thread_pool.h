@@ -16,12 +16,12 @@
 #define SEMIS_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace semis {
 
@@ -45,7 +45,8 @@ class ThreadPool {
   /// callers can keep per-worker scratch state without synchronization.
   /// Not reentrant: one job at a time.
   void ParallelFor(size_t num_items,
-                   const std::function<void(size_t item, size_t worker)>& fn);
+                   const std::function<void(size_t item, size_t worker)>& fn)
+      EXCLUDES(mu_);
 
   /// Non-blocking half of ParallelFor: hands the job to the workers and
   /// returns immediately, so the calling thread can consume what the
@@ -53,26 +54,30 @@ class ThreadPool {
   /// job may be in flight; every Begin must be paired with a
   /// WaitForCompletion before the next Begin (or destruction).
   void BeginParallelFor(size_t num_items,
-                        std::function<void(size_t item, size_t worker)> fn);
+                        std::function<void(size_t item, size_t worker)> fn)
+      EXCLUDES(mu_);
 
   /// Blocks until the job started by BeginParallelFor has finished (all
   /// items processed by all workers). No-op when no job is in flight.
-  void WaitForCompletion();
+  void WaitForCompletion() EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(size_t worker_index);
+  void WorkerLoop(size_t worker_index) EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable job_cv_;   // workers wait for a new job epoch
-  std::condition_variable done_cv_;  // WaitForCompletion waits here
-  std::function<void(size_t, size_t)> job_fn_;
-  bool job_active_ = false;
-  size_t job_items_ = 0;
+  Mutex mu_;
+  CondVar job_cv_;   // workers wait for a new job epoch
+  CondVar done_cv_;  // WaitForCompletion waits here
+  // Written under mu_ by Begin/Wait; workers invoke it OUTSIDE mu_ via a
+  // pointer taken under the lock. Safe because Wait cannot clear it until
+  // every worker has passed the workers_done_ barrier (see WorkerLoop).
+  std::function<void(size_t, size_t)> job_fn_ GUARDED_BY(mu_);
+  bool job_active_ GUARDED_BY(mu_) = false;
+  size_t job_items_ GUARDED_BY(mu_) = 0;
   std::atomic<size_t> next_item_{0};
-  size_t workers_done_ = 0;
-  uint64_t epoch_ = 0;
-  bool stop_ = false;
+  size_t workers_done_ GUARDED_BY(mu_) = 0;
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace semis

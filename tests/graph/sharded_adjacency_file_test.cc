@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -503,6 +504,69 @@ TEST_F(ShardedAdjacencyFileTest, CursorCountersSurfaceInIoStats) {
         (2 * s.num_records + s.num_directed_edges) * sizeof(VertexId));
   }
   EXPECT_LT(io.peak_buffered_bytes, min_shard_bytes);
+}
+
+TEST_F(ShardedAdjacencyFileTest, CloseReportsErrorOfUnconsumedShard) {
+  // Regression: an abandoned scan used to swallow a decode error in a
+  // shard the consumer never reached -- Close() returned OK and a
+  // truncated shard went entirely unreported. Close must surface the
+  // first such error.
+  Graph g = GenerateErdosRenyi(2000, 6000, 34);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 4));
+  // Chop the tail off the LAST shard, so the damage sits in a shard the
+  // consumer (which reads nothing at all here) never gets near.
+  const std::string shard3 = ShardFilePath(manifest, 3);
+  uint64_t size = 0;
+  ASSERT_OK(GetFileSize(shard3, &size));
+  ASSERT_GT(size, 16u);
+  std::filesystem::resize_file(shard3, size - 7);
+
+  ThreadPool pool(2);
+  ManifestOrderedShardCursor cursor;
+  BlockRingOptions ring;
+  // A budget far above the whole file: no decoder ever stalls on
+  // back-pressure, so WaitForCompletion below is deterministic.
+  ring.max_buffered_bytes = 16u << 20;
+  ASSERT_OK(cursor.Open(manifest, &pool, ring));
+  // Let every decoder run to completion, so shard 3 has recorded its
+  // error before Close inspects the streams.
+  pool.WaitForCompletion();
+  Status closed = cursor.Close();
+  EXPECT_FALSE(closed.ok()) << "truncated unconsumed shard reported OK";
+  // Close stays idempotent: the error is reported once, not latched.
+  EXPECT_OK(cursor.Close());
+}
+
+TEST_F(ShardedAdjacencyFileTest, TruncatedShardSurfacesThroughNext) {
+  // The in-band flavor of the same contract: a consumer that DOES reach
+  // the damaged shard gets the error from Next, after every record of
+  // the healthy shards before it.
+  Graph g = GenerateErdosRenyi(2000, 6000, 35);
+  std::string mono = WriteGraphFile(&scratch_, g);
+  std::string manifest = NewPath("sharded");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 3));
+  ShardedAdjacencyManifest m;
+  ASSERT_OK(ReadShardedAdjacencyManifest(manifest, &m));
+  const std::string shard1 = ShardFilePath(manifest, 1);
+  uint64_t size = 0;
+  ASSERT_OK(GetFileSize(shard1, &size));
+  std::filesystem::resize_file(shard1, size - 7);
+
+  ThreadPool pool(2);
+  ManifestOrderedShardCursor cursor;
+  ASSERT_OK(cursor.Open(manifest, &pool));
+  VertexRecordView view;
+  bool has_next = false;
+  uint64_t yielded = 0;
+  Status s;
+  while ((s = cursor.Next(&view, &has_next)).ok() && has_next) yielded++;
+  EXPECT_FALSE(s.ok()) << "scan over a truncated shard completed OK";
+  // Every record of the healthy shard 0 was delivered before the error.
+  EXPECT_GE(yielded, m.shards[0].num_records);
+  // The scan never reached the end, so Close re-reports the failure.
+  EXPECT_FALSE(cursor.Close().ok());
 }
 
 TEST_F(ShardedAdjacencyFileTest, ShardReaderValidatesIndex) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -89,7 +91,7 @@ TEST(ScratchDirTest, RemoveDeletesTreeAndDestructorIsIdempotent) {
     ASSERT_OK(ScratchDir::Create("semis-scratch-test", &dir));
     path = dir.path();
     std::ofstream(dir.NewFilePath("spill")) << "payload";
-    dir.Remove();
+    ASSERT_OK(dir.Remove());
     EXPECT_TRUE(dir.path().empty());
     EXPECT_FALSE(std::filesystem::exists(path));
   }
@@ -109,8 +111,32 @@ TEST(ScratchDirTest, MoveTransfersOwnership) {
   ScratchDir c;
   c = std::move(b);
   EXPECT_EQ(c.path(), path);
-  c.Remove();
+  ASSERT_OK(c.Remove());
   EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ScratchDirTest, RemoveReportsUndeletableTree) {
+  // Regression: Remove() used to return void, so a directory that could
+  // not be deleted was silently leaked (and MisEngine::Close() had no
+  // way to report it). Failure is injected by dropping write permission
+  // on the directory, which makes unlinking its children fail -- that
+  // does not stop root, so skip there (CI runners are unprivileged).
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "permission-based failure injection is a no-op as root";
+  }
+  ScratchDir dir;
+  ASSERT_OK(ScratchDir::Create("semis-scratch-test", &dir));
+  std::string path = dir.path();
+  std::ofstream(dir.NewFilePath("spill")) << "payload";
+  std::filesystem::permissions(path, std::filesystem::perms::owner_read |
+                                         std::filesystem::perms::owner_exec);
+  Status s = dir.Remove();
+  EXPECT_FALSE(s.ok()) << "undeletable scratch tree reported OK";
+  // The path is dropped even on failure, so Remove never retries forever.
+  EXPECT_TRUE(dir.path().empty());
+  // Clean up behind the injected failure.
+  std::filesystem::permissions(path, std::filesystem::perms::owner_all);
+  std::filesystem::remove_all(path);
 }
 
 TEST(ScratchDirTest, CreateIntoExistingScratchReplacesIt) {

@@ -1,0 +1,53 @@
+// Copyright (c) the semis authors.
+// Positive control for the compile-contract harness: correct use of the
+// Status and thread-annotation vocabulary. This file must compile under
+// the same flags that make the sibling violation files fail; if it stops
+// compiling, the harness is broken (bad include path, flag typo), not
+// the contracts.
+#include <utility>
+
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+semis::Status MightFail() { return semis::Status::OK(); }
+
+semis::StatusOr<int> MightReturn() { return 42; }
+
+semis::Status ConsumeEverything() {
+  SEMIS_RETURN_IF_ERROR(MightFail());
+  int value = 0;
+  SEMIS_ASSIGN_OR_RETURN(value, MightReturn());
+  (void)value;
+  MightFail().IgnoreError();  // the sanctioned escape hatch
+  return semis::Status::OK();
+}
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    semis::MutexLock lock(&mu_);
+    count_++;
+  }
+
+  int Get() const EXCLUDES(mu_) {
+    semis::MutexLock lock(&mu_);
+    return count_;
+  }
+
+ private:
+  mutable semis::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+int UseAll() {
+  ConsumeEverything().IgnoreError();
+  Counter c;
+  c.Increment();
+  return c.Get();
+}
+
+}  // namespace
+
+int main() { return UseAll() == 1 ? 0 : 1; }

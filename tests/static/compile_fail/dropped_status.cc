@@ -1,0 +1,20 @@
+// Copyright (c) the semis authors.
+// MUST NOT COMPILE (-Werror=unused-result): a Status return dropped on
+// the floor. The fix is to propagate it (SEMIS_RETURN_IF_ERROR), check
+// it, or call .IgnoreError() with a justification.
+#include "util/status.h"
+
+namespace {
+
+semis::Status MightFail() { return semis::Status::IOError("disk on fire"); }
+
+void Oops() {
+  MightFail();  // naked discard -- the [[nodiscard]] contract fires here
+}
+
+}  // namespace
+
+int main() {
+  Oops();
+  return 0;
+}

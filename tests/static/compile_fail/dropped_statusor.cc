@@ -1,0 +1,19 @@
+// Copyright (c) the semis authors.
+// MUST NOT COMPILE (-Werror=unused-result): a StatusOr<T> return dropped
+// on the floor, which loses both the value and the error.
+#include "util/status.h"
+
+namespace {
+
+semis::StatusOr<int> MightReturn() { return 7; }
+
+void Oops() {
+  MightReturn();  // naked discard -- the [[nodiscard]] contract fires here
+}
+
+}  // namespace
+
+int main() {
+  Oops();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Copyright (c) the semis authors.
+// MUST NOT COMPILE under clang -Wthread-safety -Werror: a GUARDED_BY
+// member read and written without holding its mutex.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    count_++;  // -Wthread-safety: writing count_ requires holding mu_
+  }
+
+  int Get() const {
+    return count_;  // -Wthread-safety: reading count_ requires holding mu_
+  }
+
+ private:
+  mutable semis::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get();
+}

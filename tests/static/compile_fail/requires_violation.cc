@@ -1,0 +1,40 @@
+// Copyright (c) the semis authors.
+// MUST NOT COMPILE under clang -Wthread-safety -Werror: calling an
+// EXCLUDES(mu_) function while already holding mu_ (the self-deadlock
+// the annotation exists to prevent), and calling a REQUIRES(mu_)
+// function without the lock.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Engine {
+ public:
+  void Publish() EXCLUDES(mu_) {
+    semis::MutexLock lock(&mu_);
+    epoch_++;
+  }
+
+  void PublishTwice() EXCLUDES(mu_) {
+    semis::MutexLock lock(&mu_);
+    Publish();  // -Wthread-safety: Publish() excludes mu_, which is held
+  }
+
+  void BumpLocked() REQUIRES(mu_) { epoch_++; }
+
+  void BumpUnlocked() EXCLUDES(mu_) {
+    BumpLocked();  // -Wthread-safety: BumpLocked() requires mu_
+  }
+
+ private:
+  semis::Mutex mu_;
+  int epoch_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Engine e;
+  e.PublishTwice();
+  e.BumpUnlocked();
+  return 0;
+}

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "test_util.h"
+
 namespace semis {
 namespace {
 
@@ -52,6 +58,64 @@ TEST(StatusTest, CopySemantics) {
   Status b = a;
   EXPECT_TRUE(b.IsNotFound());
   EXPECT_EQ(b.message(), "gone");
+}
+
+TEST(StatusTest, IgnoreErrorIsANoOpEscapeHatch) {
+  // Exists so destructor/cleanup paths can drop a Status *visibly*; it
+  // must not mutate or invalidate the status.
+  Status s = Status::IOError("dropped on purpose");
+  s.IgnoreError();
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> got = 42;
+  ASSERT_TRUE(got.ok());
+  EXPECT_OK(got.status());
+  EXPECT_EQ(got.value(), 42);
+  EXPECT_EQ(*got, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> got = Status::NotFound("no such vertex");
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound());
+  EXPECT_EQ(got.status().message(), "no such vertex");
+}
+
+TEST(StatusOrTest, MoveOnlyValueMovesOut) {
+  StatusOr<std::unique_ptr<int>> got = std::make_unique<int>(7);
+  ASSERT_TRUE(got.ok());
+  std::unique_ptr<int> owned = std::move(got).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperatorReachesMembers) {
+  StatusOr<std::string> got = std::string("abc");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 3u);
+}
+
+StatusOr<int> ParsePositive(int raw) {
+  if (raw <= 0) return Status::InvalidArgument("not positive");
+  return raw;
+}
+
+Status DoubleIt(int raw, int* out) {
+  int value = 0;
+  SEMIS_ASSIGN_OR_RETURN(value, ParsePositive(raw));
+  *out = 2 * value;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_OK(DoubleIt(21, &out));
+  EXPECT_EQ(out, 42);
+  out = 0;
+  EXPECT_TRUE(DoubleIt(-1, &out).IsInvalidArgument());
+  EXPECT_EQ(out, 0);  // the macro returned before the write
 }
 
 }  // namespace
