@@ -11,7 +11,9 @@
 #include "core/verify.h"
 #include "graph/adjacency_file.h"
 #include "graph/degree_sort.h"
+#include "graph/shard_store.h"
 #include "graph/sharded_adjacency_file.h"
+#include "io/epoch_journal.h"
 #include "io/file.h"
 #include "util/timer.h"
 
@@ -161,9 +163,14 @@ Status MisEngine::OpenMonolithic(const std::string& adjacency_path) {
 Status MisEngine::OpenShardedInternal(const std::string& manifest_path,
                                       SolveResult* res) {
   WallTimer timer;
+  // `manifest_path` is the store ROOT: a plain SADM manifest or a SEPR
+  // epoch root pointer. Resolve here for the direct manifest read, but
+  // keep passing the root downstream -- every consumer (executors,
+  // verifier, streaming maintainer) resolves it itself, so epoch flips
+  // between stages are impossible to mis-path.
   ShardedAdjacencyManifest manifest;
   SEMIS_RETURN_IF_ERROR(
-      ReadShardedAdjacencyManifest(manifest_path, &manifest, &res->io));
+      ReadShardStoreManifest(manifest_path, &manifest, &res->io));
   if (options_.degree_sort && !manifest.header.IsDegreeSorted()) {
     return Status::InvalidArgument(
         "sharded input is not degree-sorted and cannot be sorted in place; "
@@ -207,10 +214,9 @@ Status MisEngine::Open(const std::string& path) {
   // misleading "not an adjacency file" from the monolithic scanner.
   bool is_manifest = false;
   {
-    SequentialFileReader probe;
     uint32_t magic = 0;
-    if (probe.Open(path).ok() && probe.ReadU32(&magic).ok()) {
-      is_manifest = magic == kShardManifestMagic;
+    if (ProbeFileMagic(path, &magic).ok()) {
+      is_manifest = magic == kShardManifestMagic || magic == kEpochRootMagic;
     }
   }
   if (is_manifest) {
@@ -251,7 +257,7 @@ Status MisEngine::OpenSharded(const std::string& manifest_path,
   SolveResult res;
   ShardedAdjacencyManifest manifest;
   SEMIS_RETURN_IF_ERROR(
-      ReadShardedAdjacencyManifest(manifest_path, &manifest, &res.io));
+      ReadShardStoreManifest(manifest_path, &manifest, &res.io));
   if (initial_set.size() != manifest.header.num_vertices) {
     return Status::InvalidArgument(
         "initial set covers " + std::to_string(initial_set.size()) +
@@ -336,6 +342,12 @@ Status MisEngine::Compact(bool force) {
   // Storage-only: folding the delta never changes the effective graph or
   // the membership, so the published epoch stays truthful.
   return mutant_->Compact(force);
+}
+
+Status MisEngine::Resort() {
+  SEMIS_RETURN_IF_ERROR(Prepare());
+  // Storage-only like Compact: records move, membership does not.
+  return mutant_->Resort();
 }
 
 EpochSnapshotRef MisEngine::Publish() {

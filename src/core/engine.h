@@ -176,8 +176,9 @@ class MisEngine {
   MisEngine(const MisEngine&) = delete;
   MisEngine& operator=(const MisEngine&) = delete;
 
-  /// Opens `path` -- a SADJS manifest (detected by magic) or a SADJ
-  /// monolithic file -- runs the solve pipeline on it, and publishes the
+  /// Opens `path` -- a SADJS manifest or an epoch-journaled store root
+  /// (both detected by magic) or a SADJ monolithic file -- runs the
+  /// solve pipeline on it, and publishes the
   /// result as epoch 1. Monolithic input is degree-sorted (when
   /// configured and needed) and, with pipeline.num_shards > 1, split
   /// into shards first; both intermediates live in the engine's scratch
@@ -229,6 +230,14 @@ class MisEngine {
   /// the base files. Storage-only: the successor's effective graph and
   /// set are unchanged, so no new epoch is implied.
   Status Compact(bool force = false) EXCLUDES(publish_mu_);
+
+  /// Restores global (degree, id) order after compactions cleared the
+  /// manifest's degree-sorted flag: folds any pending deltas, rewrites
+  /// the base shards fully sorted and publishes them through the same
+  /// atomic epoch commit as Compact. Storage-only: the effective graph
+  /// and the successor's set are unchanged. A no-op when the base is
+  /// already sorted.
+  Status Resort() EXCLUDES(publish_mu_);
 
   /// Freezes the successor state into a new epoch and atomically swaps
   /// it in as the current snapshot; the previous epoch retires when its

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <queue>
 #include <thread>
 
+#include "io/epoch_journal.h"
+#include "util/crash_point.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -20,13 +24,22 @@ constexpr size_t kHashSlotBytes = 4 * sizeof(uint64_t);
 Status ShardedStreamingMis::Initialize(const std::string& manifest_path,
                                        const BitVector& initial_set,
                                        const EnginePipelineOptions& options) {
+  // Crash recovery first: resolve the root (legacy SADM or journaled
+  // SEPR), fall back one epoch if the current one is torn, and remove
+  // orphaned files a crashed commit left behind.
+  ShardStoreRecovery recovery;
   SEMIS_RETURN_IF_ERROR(
-      ReadShardedAdjacencyManifest(manifest_path, &manifest_, &stats_.io));
+      RecoverShardStore(manifest_path, &store_, &recovery, &stats_.io));
+  if (recovery.fell_back) stats_.epoch_fallbacks++;
+  stats_.orphan_files_removed += recovery.orphan_files_removed;
+  root_path_ = manifest_path;
+  manifest_path_ = store_.manifest_path;
+  SEMIS_RETURN_IF_ERROR(
+      ReadShardedAdjacencyManifest(manifest_path_, &manifest_, &stats_.io));
   if (manifest_.header.num_vertices != initial_set.size()) {
     return Status::InvalidArgument("set size != graph vertex count");
   }
-  manifest_path_ = manifest_path;
-  delta_path_ = EdgeDeltaManifestPath(manifest_path);
+  delta_path_ = EdgeDeltaManifestPath(manifest_path_);
   options_ = options;
   n_ = manifest_.header.num_vertices;
   set_ = initial_set;
@@ -36,23 +49,7 @@ Status ShardedStreamingMis::Initialize(const std::string& manifest_path,
   pending_.assign(manifest_.num_shards(), {});
   next_sequence_ = 0;
 
-  // Route map: records are permuted by the degree sort, so the shard
-  // holding a vertex's record is only discoverable by scanning. One pass
-  // over the shards; 2 bytes per vertex (kMaxAdjacencyShards = 4096).
-  shard_of_.assign(n_, 0);
-  stats_.io.sequential_scans++;
-  for (uint32_t k = 0; k < manifest_.num_shards(); ++k) {
-    AdjacencyShardReader reader(&stats_.io);
-    SEMIS_RETURN_IF_ERROR(reader.Open(manifest_path_, manifest_, k));
-    VertexRecordView rec;
-    bool has_next = false;
-    while (true) {
-      SEMIS_RETURN_IF_ERROR(reader.Next(&rec, &has_next));
-      if (!has_next) break;
-      shard_of_[rec.id] = static_cast<uint16_t>(k);
-    }
-    SEMIS_RETURN_IF_ERROR(reader.Close());
-  }
+  SEMIS_RETURN_IF_ERROR(BuildRouteMap());
 
   // Resume from an existing overlay, or start a fresh (empty) one.
   uint64_t size = 0;
@@ -73,6 +70,27 @@ Status ShardedStreamingMis::Initialize(const std::string& manifest_path,
   }
   initialized_ = true;
   AccountMemory();
+  return Status::OK();
+}
+
+Status ShardedStreamingMis::BuildRouteMap() {
+  // Route map: records are permuted by the degree sort, so the shard
+  // holding a vertex's record is only discoverable by scanning. One pass
+  // over the shards; 2 bytes per vertex (kMaxAdjacencyShards = 4096).
+  shard_of_.assign(n_, 0);
+  stats_.io.sequential_scans++;
+  for (uint32_t k = 0; k < manifest_.num_shards(); ++k) {
+    AdjacencyShardReader reader(&stats_.io);
+    SEMIS_RETURN_IF_ERROR(reader.Open(manifest_path_, manifest_, k));
+    VertexRecordView rec;
+    bool has_next = false;
+    while (true) {
+      SEMIS_RETURN_IF_ERROR(reader.Next(&rec, &has_next));
+      if (!has_next) break;
+      shard_of_[rec.id] = static_cast<uint16_t>(k);
+    }
+    SEMIS_RETURN_IF_ERROR(reader.Close());
+  }
   return Status::OK();
 }
 
@@ -105,15 +123,22 @@ Status ShardedStreamingMis::ForEachMergedPendingEntry(Fn&& fn) const {
 }
 
 Status ShardedStreamingMis::RewriteShardLog(uint32_t shard) {
+  // Write-new + rename rather than truncate in place: the live log may be
+  // hard-linked into the previous epoch's namespace, and truncating the
+  // shared inode would corrupt the fallback epoch the journal promises.
+  const std::string log_path = EdgeDeltaShardPath(delta_path_, shard);
+  const std::string tmp_path = log_path + ".tmp";
   SEMIS_RETURN_IF_ERROR(
-      CreateEdgeDeltaShardLog(delta_path_, shard, n_, &stats_.io));
-  if (pending_[shard].empty()) return Status::OK();
-  EdgeDeltaShardWriter writer(&stats_.io);
-  SEMIS_RETURN_IF_ERROR(writer.Open(delta_path_, shard, n_));
-  for (const EdgeDeltaEntry& entry : pending_[shard]) {
-    SEMIS_RETURN_IF_ERROR(writer.Append(entry));
+      CreateEdgeDeltaShardLogAtPath(tmp_path, shard, n_, &stats_.io));
+  if (!pending_[shard].empty()) {
+    EdgeDeltaShardWriter writer(&stats_.io);
+    SEMIS_RETURN_IF_ERROR(writer.OpenAtPath(tmp_path, n_));
+    for (const EdgeDeltaEntry& entry : pending_[shard]) {
+      SEMIS_RETURN_IF_ERROR(writer.Append(entry));
+    }
+    SEMIS_RETURN_IF_ERROR(writer.Close());
   }
-  return writer.Close();
+  return RenameFile(tmp_path, log_path);
 }
 
 Status ShardedStreamingMis::ReplayExistingDelta() {
@@ -411,7 +436,9 @@ Status ShardedStreamingMis::Repair() {
   return Status::OK();
 }
 
-Status ShardedStreamingMis::CompactShard(uint32_t shard, ShardInfo* new_info,
+Status ShardedStreamingMis::CompactShard(uint32_t shard,
+                                         const std::string& out_path,
+                                         ShardInfo* new_info,
                                          uint32_t* max_degree_seen,
                                          bool* records_changed) {
   ShardDeltaView view;
@@ -419,10 +446,8 @@ Status ShardedStreamingMis::CompactShard(uint32_t shard, ShardInfo* new_info,
 
   AdjacencyShardReader reader(&stats_.io);
   SEMIS_RETURN_IF_ERROR(reader.Open(manifest_path_, manifest_, shard));
-  const std::string shard_path = ShardFilePath(manifest_path_, shard);
-  const std::string tmp_path = shard_path + ".compact";
   SequentialFileWriter writer(&stats_.io);
-  SEMIS_RETURN_IF_ERROR(writer.Open(tmp_path));
+  SEMIS_RETURN_IF_ERROR(writer.Open(out_path));
   SEMIS_RETURN_IF_ERROR(WriteAdjacencyShardHeader(&writer, shard, n_));
 
   std::vector<VertexId> neighbors;
@@ -473,11 +498,43 @@ Status ShardedStreamingMis::CompactShard(uint32_t shard, ShardInfo* new_info,
     if (changed) *records_changed = true;
   }
   SEMIS_RETURN_IF_ERROR(reader.Close());
-  SEMIS_RETURN_IF_ERROR(writer.Close());
-  if (std::rename(tmp_path.c_str(), shard_path.c_str()) != 0) {
-    return Status::IOError("cannot move compacted shard into place at '" +
-                           shard_path + "'");
+  return writer.Close();
+}
+
+Status ShardedStreamingMis::PublishEpoch(
+    uint64_t next_epoch, const std::vector<std::string>& staged_files) {
+  // Make every staged file durable, then the directory entries, THEN flip
+  // the root -- the root must never name an epoch whose files could still
+  // be lost by a power cut.
+  for (const std::string& path : staged_files) {
+    SEMIS_RETURN_IF_ERROR(SyncFile(path));
   }
+  SEMIS_RETURN_IF_ERROR(SyncParentDirectory(root_path_));
+  SEMIS_CRASH_POINT("epoch.staged-files-durable");
+  EpochRootPointer root;
+  root.current_epoch = next_epoch;
+  root.previous_epoch = store_.journaled ? store_.current_epoch : 0;
+  Status flipped = WriteEpochRootPointer(root_path_, root, &stats_.io);
+  if (!flipped.ok()) {
+    // The rename may or may not have happened; memory can no longer claim
+    // to match disk on either assumption.
+    wedged_ = true;
+    return flipped;
+  }
+  store_.journaled = true;
+  store_.fell_back = false;
+  store_.previous_epoch = root.previous_epoch;
+  store_.current_epoch = next_epoch;
+  store_.manifest_path = EpochManifestPath(root_path_, next_epoch);
+  manifest_path_ = store_.manifest_path;
+  delta_path_ = EdgeDeltaManifestPath(manifest_path_);
+  return Status::OK();
+}
+
+Status ShardedStreamingMis::CollectStoreGarbage() {
+  uint64_t removed = 0;
+  SEMIS_RETURN_IF_ERROR(GarbageCollectShardStore(store_, &removed));
+  stats_.orphan_files_removed += removed;
   return Status::OK();
 }
 
@@ -518,67 +575,339 @@ Status ShardedStreamingMis::Compact(bool force) {
   }
   if (saturated.empty()) return Status::OK();
 
-  // From the first shard rename on, a failure leaves disk and memory
-  // disagreeing mid-transaction; wedge on any error past that point.
-  const auto rewrite = [&]() -> Status {
-    bool records_changed = false;
-    uint32_t max_degree_seen = 0;
-    for (uint32_t k : saturated) {
-      ShardInfo new_info;
-      SEMIS_RETURN_IF_ERROR(
-          CompactShard(k, &new_info, &max_degree_seen, &records_changed));
-      manifest_.shards[k] = new_info;
-    }
-    uint64_t total_edges = 0;
-    for (const ShardInfo& s : manifest_.shards) {
-      total_edges += s.num_directed_edges;
-    }
-    manifest_.header.num_directed_edges = total_edges;
-    // max_degree stays an upper bound: compaction only sees the rewritten
-    // shards, so it can raise the bound but never safely lower it.
-    manifest_.header.max_degree =
-        std::max(manifest_.header.max_degree, max_degree_seen);
-    if (records_changed) {
-      // Folded inserts/deletes change degrees, so the global (degree, id)
-      // order can no longer be guaranteed; re-sort before relying on it.
-      manifest_.header.flags &= ~kAdjFlagDegreeSorted;
-    }
-    SEMIS_RETURN_IF_ERROR(
-        WriteShardedAdjacencyManifest(manifest_path_, manifest_, &stats_.io));
+  // Stage the whole next epoch under its own names, then commit by
+  // flipping the root pointer. Until PublishEpoch flips it, nothing here
+  // mutates the maintainer or the current epoch, so any failure (or
+  // crash) before the flip simply abandons the staged files as orphans --
+  // no wedging, no torn store.
+  const uint32_t num_shards = manifest_.num_shards();
+  const uint64_t next_epoch = store_.current_epoch + 1;
+  const std::string new_manifest = EpochManifestPath(root_path_, next_epoch);
+  const std::string new_delta = EdgeDeltaManifestPath(new_manifest);
+  std::vector<bool> is_saturated(num_shards, false);
+  for (uint32_t k : saturated) is_saturated[k] = true;
 
-    // Retire the compacted logs, then republish the delta manifest.
-    EdgeDeltaManifest dm;
-    dm.num_vertices = n_;
-    dm.next_sequence = next_sequence_;
-    dm.shard_entries.resize(manifest_.num_shards());
-    for (uint32_t k : saturated) {
-      pending_[k].clear();
-      pending_[k].shrink_to_fit();
+  ShardedAdjacencyManifest staged = manifest_;
+  bool records_changed = false;
+  uint32_t max_degree_seen = 0;
+  std::vector<std::string> staged_files;
+  staged_files.reserve(2 * num_shards + 2);
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    const std::string out_shard = ShardFilePath(new_manifest, k);
+    // A retried commit of the same epoch may find leftovers of the failed
+    // attempt; staging is idempotent.
+    SEMIS_RETURN_IF_ERROR(RemoveFileIfExists(out_shard));
+    if (is_saturated[k]) {
+      ShardInfo new_info;
+      SEMIS_RETURN_IF_ERROR(CompactShard(k, out_shard, &new_info,
+                                         &max_degree_seen, &records_changed));
+      staged.shards[k] = new_info;
+    } else {
+      // Unchanged shards carry over as hard links: one directory entry,
+      // zero copied bytes, and the previous epoch keeps its own name.
       SEMIS_RETURN_IF_ERROR(
-          CreateEdgeDeltaShardLog(delta_path_, k, n_, &stats_.io));
+          HardLinkFile(ShardFilePath(manifest_path_, k), out_shard));
     }
-    for (uint32_t k = 0; k < manifest_.num_shards(); ++k) {
-      dm.shard_entries[k] = pending_[k].size();
-    }
-    SEMIS_RETURN_IF_ERROR(WriteEdgeDeltaManifest(delta_path_, dm, &stats_.io));
-    return RebuildDeltaState();
-  };
-  Status rewritten = rewrite();
-  if (!rewritten.ok()) {
-    wedged_ = true;
-    return rewritten;
+    staged_files.push_back(out_shard);
+    SEMIS_CRASH_POINT("compact.shard-staged");
   }
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    const std::string out_log = EdgeDeltaShardPath(new_delta, k);
+    SEMIS_RETURN_IF_ERROR(RemoveFileIfExists(out_log));
+    if (is_saturated[k]) {
+      // The compacted shard's delta is folded in; its log restarts empty.
+      SEMIS_RETURN_IF_ERROR(
+          CreateEdgeDeltaShardLogAtPath(out_log, k, n_, &stats_.io));
+    } else {
+      SEMIS_RETURN_IF_ERROR(
+          HardLinkFile(EdgeDeltaShardPath(delta_path_, k), out_log));
+    }
+    staged_files.push_back(out_log);
+    SEMIS_CRASH_POINT("compact.log-staged");
+  }
+  EdgeDeltaManifest dm;
+  dm.num_vertices = n_;
+  dm.next_sequence = next_sequence_;
+  dm.shard_entries.resize(num_shards);
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    dm.shard_entries[k] = is_saturated[k] ? 0 : pending_[k].size();
+  }
+  SEMIS_RETURN_IF_ERROR(WriteEdgeDeltaManifest(new_delta, dm, &stats_.io));
+  staged_files.push_back(new_delta);
+  SEMIS_CRASH_POINT("compact.delta-manifest-staged");
+
+  uint64_t total_edges = 0;
+  for (const ShardInfo& s : staged.shards) {
+    total_edges += s.num_directed_edges;
+  }
+  staged.header.num_directed_edges = total_edges;
+  // max_degree stays an upper bound: compaction only sees the rewritten
+  // shards, so it can raise the bound but never safely lower it.
+  staged.header.max_degree =
+      std::max(staged.header.max_degree, max_degree_seen);
+  if (records_changed) {
+    // Folded inserts/deletes change degrees, so the global (degree, id)
+    // order can no longer be guaranteed; Resort() restores it.
+    staged.header.flags &= ~kAdjFlagDegreeSorted;
+  }
+  SEMIS_RETURN_IF_ERROR(
+      WriteShardedAdjacencyManifest(new_manifest, staged, &stats_.io));
+  staged_files.push_back(new_manifest);
+  SEMIS_CRASH_POINT("compact.manifest-staged");
+
+  SEMIS_RETURN_IF_ERROR(PublishEpoch(next_epoch, staged_files));
+
+  // The commit succeeded; bring the maintainer in line with the new
+  // epoch, then retire the old one.
+  manifest_ = staged;
+  for (uint32_t k : saturated) {
+    pending_[k].clear();
+    pending_[k].shrink_to_fit();
+  }
+  SEMIS_RETURN_IF_ERROR(RebuildDeltaState());
   uint64_t pending_total = 0;
   for (const auto& shard_entries : pending_) {
     pending_total += shard_entries.size();
   }
-
   stats_.compactions++;
   stats_.shards_rewritten += saturated.size();
   stats_.pending_delta_entries = pending_total;
   stats_.compact_seconds += timer.ElapsedSeconds();
   AccountMemory();
+  SEMIS_RETURN_IF_ERROR(CollectStoreGarbage());
+  if (options_.auto_resort && !in_resort_ &&
+      !manifest_.header.IsDegreeSorted()) {
+    return Resort();
+  }
   return Status::OK();
+}
+
+Status ShardedStreamingMis::BuildResortRun(uint32_t shard,
+                                           const std::string& run_path,
+                                           IoStats* io) {
+  // One shard's records, sorted by the degree-sort key
+  // (degree << 32 | id, ascending) -- the exact key of graph/degree_sort.
+  // Run format (private, staged, regenerated on any crash): per record
+  // u64 key, then (key >> 32) u32 neighbors.
+  AdjacencyShardReader reader(io);
+  SEMIS_RETURN_IF_ERROR(reader.Open(manifest_path_, manifest_, shard));
+  struct RecRef {
+    uint64_t key = 0;
+    uint64_t offset = 0;
+  };
+  std::vector<RecRef> recs;
+  recs.reserve(manifest_.shards[shard].num_records);
+  std::vector<VertexId> pool;
+  pool.reserve(manifest_.shards[shard].num_directed_edges);
+  VertexRecordView rec;
+  bool has_next = false;
+  while (true) {
+    SEMIS_RETURN_IF_ERROR(reader.Next(&rec, &has_next));
+    if (!has_next) break;
+    const uint64_t key = (static_cast<uint64_t>(rec.degree) << 32) | rec.id;
+    recs.push_back({key, pool.size()});
+    pool.insert(pool.end(), rec.neighbors, rec.neighbors + rec.degree);
+  }
+  SEMIS_RETURN_IF_ERROR(reader.Close());
+  std::sort(recs.begin(), recs.end(),
+            [](const RecRef& a, const RecRef& b) { return a.key < b.key; });
+  SequentialFileWriter writer(io);
+  SEMIS_RETURN_IF_ERROR(writer.Open(run_path));
+  for (const RecRef& r : recs) {
+    SEMIS_RETURN_IF_ERROR(writer.AppendU64(r.key));
+    const uint32_t degree = static_cast<uint32_t>(r.key >> 32);
+    if (degree > 0) {
+      SEMIS_RETURN_IF_ERROR(
+          writer.Append(pool.data() + r.offset, sizeof(VertexId) * degree));
+    }
+  }
+  return writer.Close();
+}
+
+Status ShardedStreamingMis::Resort() {
+  if (!initialized_) {
+    return Status::InvalidArgument("streaming maintainer not initialized");
+  }
+  if (wedged_) {
+    return Status::InvalidArgument(
+        "streaming maintainer wedged by an earlier flush failure; "
+        "re-Initialize to recover from the on-disk overlay");
+  }
+  if (manifest_.header.IsDegreeSorted()) return Status::OK();
+  WallTimer timer;
+  in_resort_ = true;
+  Status resorted = ResortInternal();
+  in_resort_ = false;
+  if (!resorted.ok()) return resorted;
+  stats_.resorts++;
+  stats_.resort_seconds += timer.ElapsedSeconds();
+  AccountMemory();
+  return Status::OK();
+}
+
+Status ShardedStreamingMis::ResortInternal() {
+  // Fold every pending delta into the base first: the re-sorted base must
+  // BE the effective graph, and re-sorting moves records across shards,
+  // which would strand routed log entries in the wrong shard.
+  uint64_t pending_total = 0;
+  for (const auto& shard_entries : pending_) {
+    pending_total += shard_entries.size();
+  }
+  if (pending_total > 0) {
+    SEMIS_RETURN_IF_ERROR(Compact(/*force=*/true));
+  }
+  const uint32_t num_shards = manifest_.num_shards();
+  const uint64_t next_epoch = store_.current_epoch + 1;
+  const std::string new_manifest = EpochManifestPath(root_path_, next_epoch);
+  const std::string new_delta = EdgeDeltaManifestPath(new_manifest);
+
+  // Phase A: sort each shard into a run file, one shard per worker. The
+  // runs are staged under the next epoch's namespace so a crash leaves
+  // them as GC-able orphans.
+  std::vector<std::string> run_paths(num_shards);
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    run_paths[k] = new_manifest + ".resort" + std::to_string(k);
+    SEMIS_RETURN_IF_ERROR(RemoveFileIfExists(run_paths[k]));
+  }
+  uint32_t num_threads = options_.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  if (num_threads <= 1 || num_shards <= 1) {
+    for (uint32_t k = 0; k < num_shards; ++k) {
+      SEMIS_RETURN_IF_ERROR(BuildResortRun(k, run_paths[k], &stats_.io));
+    }
+  } else {
+    ThreadPool pool(num_threads);
+    std::vector<Status> shard_status(num_shards);
+    std::vector<IoStats> worker_io(pool.size());
+    pool.ParallelFor(num_shards, [&](size_t k, size_t worker) {
+      shard_status[k] = BuildResortRun(static_cast<uint32_t>(k),
+                                       run_paths[k], &worker_io[worker]);
+    });
+    for (const IoStats& io : worker_io) stats_.io.MergeFrom(io);
+    for (const Status& s : shard_status) {
+      SEMIS_RETURN_IF_ERROR(s);
+    }
+  }
+  // Phase A working set: one decoded shard per active worker.
+  uint64_t max_shard_bytes = 0;
+  for (const ShardInfo& s : manifest_.shards) {
+    max_shard_bytes =
+        std::max(max_shard_bytes, s.num_records * 2 * sizeof(uint64_t) +
+                                      s.num_directed_edges * sizeof(VertexId));
+  }
+  stats_.peak_memory_bytes = std::max(
+      stats_.peak_memory_bytes,
+      CurrentMemoryBytes() +
+          max_shard_bytes * std::min<uint64_t>(num_threads, num_shards));
+  SEMIS_CRASH_POINT("resort.runs-staged");
+
+  // Phase B: merge the runs (ascending key; keys are globally unique, id
+  // breaks degree ties) into a fresh sharded base under the next epoch's
+  // names. Totals, max_degree, and flags carry the current manifest's
+  // values -- exactly what a fresh unshard -> degree-sort -> shard
+  // rebuild would write -- so the published bytes are identical to that
+  // rebuild's, shard split included.
+  std::vector<std::string> staged_files;
+  staged_files.reserve(2 * num_shards + 2);
+  {
+    struct RunCursor {
+      explicit RunCursor(IoStats* io) : reader(io) {}
+      SequentialFileReader reader;
+      uint64_t remaining = 0;
+      uint64_t key = 0;
+      std::vector<VertexId> neighbors;
+    };
+    std::vector<std::unique_ptr<RunCursor>> runs;
+    runs.reserve(num_shards);
+    const auto advance = [this](RunCursor* run) -> Status {
+      SEMIS_RETURN_IF_ERROR(run->reader.ReadU64(&run->key));
+      const uint32_t degree = static_cast<uint32_t>(run->key >> 32);
+      run->neighbors.resize(degree);
+      if (degree > 0) {
+        SEMIS_RETURN_IF_ERROR(run->reader.ReadExact(
+            run->neighbors.data(), sizeof(VertexId) * degree));
+      }
+      run->remaining--;
+      return Status::OK();
+    };
+    // Min-heap of (key, run index); unique keys make the pop order -- and
+    // therefore the output -- independent of shard and thread counts.
+    std::priority_queue<std::pair<uint64_t, uint32_t>,
+                        std::vector<std::pair<uint64_t, uint32_t>>,
+                        std::greater<std::pair<uint64_t, uint32_t>>>
+        heap;
+    for (uint32_t k = 0; k < num_shards; ++k) {
+      auto run = std::make_unique<RunCursor>(&stats_.io);
+      run->remaining = manifest_.shards[k].num_records;
+      if (run->remaining > 0) {
+        SEMIS_RETURN_IF_ERROR(run->reader.Open(run_paths[k]));
+        SEMIS_RETURN_IF_ERROR(advance(run.get()));
+        heap.emplace(run->key, k);
+      }
+      runs.push_back(std::move(run));
+    }
+    ShardedAdjacencyFileWriter writer(&stats_.io);
+    SEMIS_RETURN_IF_ERROR(writer.Open(
+        new_manifest, n_, manifest_.header.num_directed_edges,
+        manifest_.header.max_degree,
+        manifest_.header.flags | kAdjFlagDegreeSorted, num_shards));
+    while (!heap.empty()) {
+      const auto [key, k] = heap.top();
+      heap.pop();
+      RunCursor* run = runs[k].get();
+      SEMIS_RETURN_IF_ERROR(writer.AppendVertex(
+          static_cast<VertexId>(key & 0xFFFFFFFFull), run->neighbors.data(),
+          static_cast<uint32_t>(key >> 32)));
+      if (run->remaining > 0) {
+        SEMIS_RETURN_IF_ERROR(advance(run));
+        heap.emplace(run->key, k);
+      } else {
+        SEMIS_RETURN_IF_ERROR(run->reader.Close());
+      }
+    }
+    SEMIS_RETURN_IF_ERROR(writer.Finish());
+  }
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    staged_files.push_back(ShardFilePath(new_manifest, k));
+  }
+  staged_files.push_back(new_manifest);
+  // A fresh, empty overlay: the delta was fully folded by the compaction
+  // above, and record placement changed anyway.
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    const std::string out_log = EdgeDeltaShardPath(new_delta, k);
+    SEMIS_RETURN_IF_ERROR(RemoveFileIfExists(out_log));
+    SEMIS_RETURN_IF_ERROR(
+        CreateEdgeDeltaShardLogAtPath(out_log, k, n_, &stats_.io));
+    staged_files.push_back(out_log);
+  }
+  EdgeDeltaManifest dm;
+  dm.num_vertices = n_;
+  dm.next_sequence = next_sequence_;
+  dm.shard_entries.assign(num_shards, 0);
+  SEMIS_RETURN_IF_ERROR(WriteEdgeDeltaManifest(new_delta, dm, &stats_.io));
+  staged_files.push_back(new_delta);
+  // The runs are consumed; drop them before the flip so a post-commit
+  // crash has nothing extra to GC.
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    SEMIS_RETURN_IF_ERROR(RemoveFileIfExists(run_paths[k]));
+  }
+  SEMIS_CRASH_POINT("resort.epoch-staged");
+
+  SEMIS_RETURN_IF_ERROR(PublishEpoch(next_epoch, staged_files));
+
+  // Records moved shards: reload the manifest the writer computed and
+  // rebuild the route map. The delta state is empty by construction.
+  SEMIS_RETURN_IF_ERROR(
+      ReadShardedAdjacencyManifest(manifest_path_, &manifest_, &stats_.io));
+  pending_.assign(num_shards, {});
+  inserted_.clear();
+  deleted_.clear();
+  stats_.pending_delta_entries = 0;
+  SEMIS_RETURN_IF_ERROR(BuildRouteMap());
+  return CollectStoreGarbage();
 }
 
 size_t ShardedStreamingMis::CurrentMemoryBytes() const {

@@ -25,11 +25,27 @@
 //   monolithic file; num_threads <= 1 is the plain sequential scan.
 //
 // Compact() folds saturated shards' deltas into the base: each saturated
-// shard is rewritten in place (write-new + rename) with deletions dropped
-// and insertions appended to their records, and the SADJS manifest is
-// republished with the new totals. A cross-shard edge compacts
-// independently on each side -- the routed log copies make that safe.
-// Compaction never changes the effective graph, only where it is stored.
+// shard is rewritten with deletions dropped and insertions appended to
+// its records. A cross-shard edge compacts independently on each side --
+// the routed log copies make that safe. Compaction never changes the
+// effective graph, only where it is stored.
+//
+// Durability: every multi-file mutation (compaction, re-sort) is an epoch
+// commit of the journaled store layout (graph/shard_store.h): the new
+// shard, log, and manifest files are staged under `<root>.epoch<E+1>*`
+// names (unchanged files are hard-linked, not copied), fsynced, and
+// published by atomically replacing the root pointer. A crash at ANY
+// point leaves the store resolvable to a consistent epoch; Initialize
+// recovers it (falling back one epoch when the current one is torn) and
+// garbage-collects orphans. A legacy store (SADM manifest at the root)
+// converts to the journaled layout on its first commit.
+//
+// Resort() restores the global (degree, id) record order that a
+// degree-changing compaction invalidated: pending deltas are folded in
+// (forced compaction), each shard is sorted into a run file by the
+// degree-sort key on the thread pool, and the runs are merged into a
+// fresh sharded file -- byte-identical to a fresh unshard -> degree-sort
+// -> shard rebuild -- then published through the same epoch commit.
 #ifndef SEMIS_CORE_INCREMENTAL_STREAM_H_
 #define SEMIS_CORE_INCREMENTAL_STREAM_H_
 
@@ -41,6 +57,7 @@
 #include <vector>
 
 #include "core/pipeline_options.h"
+#include "graph/shard_store.h"
 #include "graph/sharded_adjacency_file.h"
 #include "io/edge_delta_file.h"
 #include "io/io_stats.h"
@@ -81,6 +98,13 @@ struct StreamingMisStats {
   /// rewritten in total.
   uint64_t compactions = 0;
   uint64_t shards_rewritten = 0;
+  /// Resort() passes that republished a degree-sorted base.
+  uint64_t resorts = 0;
+  /// Initialize() recoveries that had to fall back to the previous epoch
+  /// because the current one was torn.
+  uint64_t epoch_fallbacks = 0;
+  /// Orphaned store files removed by epoch GC (recovery + commits).
+  uint64_t orphan_files_removed = 0;
   /// Crash-torn log tails dropped (and rewritten clean) by Initialize:
   /// entries a previous session appended but never covered with a delta
   /// manifest republish, i.e. its unflushed final batch.
@@ -96,6 +120,7 @@ struct StreamingMisStats {
   double apply_seconds = 0.0;
   double repair_seconds = 0.0;
   double compact_seconds = 0.0;
+  double resort_seconds = 0.0;
 };
 
 /// Maintains an independent set over "sharded base file + SDELTA overlay".
@@ -110,8 +135,12 @@ class ShardedStreamingMis {
  public:
   ShardedStreamingMis() = default;
 
-  /// Binds the maintainer to the SADJS file rooted at `manifest_path` and
-  /// a starting independent set over its BASE graph. Builds the
+  /// Binds the maintainer to the sharded store rooted at `manifest_path`
+  /// (a legacy SADM manifest or a journaled SEPR root; see
+  /// graph/shard_store.h) and a starting independent set over its BASE
+  /// graph. Runs crash recovery first: resolves the root, falls back to
+  /// the previous epoch if the current one is torn (making the fallback
+  /// durable), and garbage-collects orphaned epoch files. Builds the
   /// vertex-to-shard routing map with one pass over the shards. If an
   /// SDELTA overlay already exists next to the manifest, its logs are
   /// replayed in sequence order on top of `initial_set`, reproducing the
@@ -147,12 +176,29 @@ class ShardedStreamingMis {
   Status Repair();
 
   /// Rewrites every saturated shard (every shard with a non-empty log
-  /// when `force` is set) with its delta folded in, republishes the SADJS
-  /// manifest, truncates the compacted logs and republishes the delta
-  /// manifest. Clears the degree-sorted flag when a rewrite changed any
-  /// record, since the global (degree, id) order can no longer be
-  /// guaranteed.
+  /// when `force` is set) with its delta folded in and publishes the
+  /// result as a new epoch of the journaled store: compacted shards are
+  /// written fresh under the next epoch's names, untouched shards and
+  /// logs are hard-linked across, compacted logs restart empty, and the
+  /// whole file set commits atomically via the root pointer (converting a
+  /// legacy store on its first commit). Clears the degree-sorted flag
+  /// when a rewrite changed any record, since the global (degree, id)
+  /// order can no longer be guaranteed -- then runs Resort() when
+  /// `options.auto_resort` is set. A failure before the root flip leaves
+  /// both the store and the maintainer untouched (the staged files are
+  /// orphans for GC); only a failure in the flip itself wedges.
   Status Compact(bool force = false);
+
+  /// Restores the global (degree, id) record order after degree-changing
+  /// compactions cleared the degree-sorted flag. Folds pending deltas in
+  /// first (forced compaction), then sorts each shard into a run file (on
+  /// the thread pool; one shard per worker) and merges the runs into a
+  /// fresh sharded base published as a new epoch. The result is
+  /// byte-identical to a fresh unshard -> degree-sort -> shard rebuild of
+  /// the same store, for every shard/thread count. No-op when the base is
+  /// already degree-sorted. The effective graph and the maintained set
+  /// are unchanged.
+  Status Resort();
 
   /// Current membership (independent w.r.t. the updated graph after every
   /// ApplyBatch; additionally maximal right after Repair()).
@@ -164,8 +210,11 @@ class ShardedStreamingMis {
   /// Session statistics so far.
   const StreamingMisStats& stats() const { return stats_; }
 
-  /// The SADJS manifest as of the last Initialize/Compact.
+  /// The SADJS manifest as of the last Initialize/Compact/Resort.
   const ShardedAdjacencyManifest& manifest() const { return manifest_; }
+
+  /// Where the store root resolved to (epoch numbers, fallback state).
+  const ResolvedShardStore& store() const { return store_; }
 
  private:
   static uint64_t EdgeKey(VertexId u, VertexId v) {
@@ -199,14 +248,39 @@ class ShardedStreamingMis {
   // manifest order. `Source` exposes the view-API Next(&view, &has_next).
   template <typename Source>
   Status RepairScan(Source* source, uint64_t* added);
-  Status CompactShard(uint32_t shard, ShardInfo* new_info,
-                      uint32_t* max_degree_seen, bool* records_changed);
+  // Writes shard `shard` with its delta folded in to `out_path` (a staged
+  // file of the next epoch).
+  Status CompactShard(uint32_t shard, const std::string& out_path,
+                      ShardInfo* new_info, uint32_t* max_degree_seen,
+                      bool* records_changed);
+  // Rebuilds the vertex-to-shard routing map by scanning the shards.
+  Status BuildRouteMap();
+  // The commit point of an epoch transaction: fsyncs the staged files of
+  // epoch `next_epoch`, atomically flips the root pointer, and updates
+  // store_/manifest_path_/delta_path_. Every staged path must be in
+  // `staged_files`. GC of retired files is the caller's final step (after
+  // its in-memory state matches the new epoch). A failure in the flip
+  // itself wedges the maintainer -- disk may be either epoch.
+  Status PublishEpoch(uint64_t next_epoch,
+                      const std::vector<std::string>& staged_files);
+  // Epoch GC + orphan accounting (after a successful commit).
+  Status CollectStoreGarbage();
+  Status ResortInternal();
+  // Sorts shard `shard`'s records by the degree-sort key into the run
+  // file at `run_path` (u64 key + u32 neighbors per record).
+  Status BuildResortRun(uint32_t shard, const std::string& run_path,
+                        IoStats* io);
   // Rebuilds inserted_/deleted_ from the pending per-shard entries (after
   // compaction retired some of them).
   Status RebuildDeltaState();
   size_t CurrentMemoryBytes() const;
   void AccountMemory();
 
+  // The store root as given to Initialize (SEPR pointer or legacy SADM).
+  std::string root_path_;
+  // Where the root resolved: epoch numbers and the serving manifest path.
+  ResolvedShardStore store_;
+  // The SADM manifest path serving this epoch (== store_.manifest_path).
   std::string manifest_path_;
   std::string delta_path_;
   ShardedAdjacencyManifest manifest_;
@@ -230,6 +304,9 @@ class ShardedStreamingMis {
   uint64_t next_sequence_ = 0;
   StreamingMisStats stats_;
   bool initialized_ = false;
+  // True while Resort() runs its internal forced compaction, so that
+  // compaction does not recurse into auto-resort.
+  bool in_resort_ = false;
   // Set when a flush/compaction failed after mutating state, leaving the
   // in-memory maintainer ahead of (or torn against) the on-disk overlay.
   // Further mutations are refused; re-Initialize to recover from disk.

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/shard_store.h"
 #include "graph/sharded_adjacency_file.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -604,9 +605,13 @@ Status RunParallelSwapImpl(const std::string& manifest_path,
                            AlgoResult* result) {
   WallTimer timer;
   AlgoResult res;
+  // Resolve a journaled-store root so the per-worker shard readers open
+  // the current epoch's files.
+  ResolvedShardStore resolved;
+  SEMIS_RETURN_IF_ERROR(ResolveShardStore(manifest_path, &resolved, &res.io));
   ShardedAdjacencyManifest manifest;
   SEMIS_RETURN_IF_ERROR(
-      ReadShardedAdjacencyManifest(manifest_path, &manifest, &res.io));
+      ReadShardedAdjacencyManifest(resolved.manifest_path, &manifest, &res.io));
   const uint64_t initial_size = initial_set != nullptr
                                     ? initial_set->size()
                                     : initial_states->size();
@@ -614,7 +619,7 @@ Status RunParallelSwapImpl(const std::string& manifest_path,
     return Status::InvalidArgument(
         "initial set size does not match graph vertex count");
   }
-  ParallelSwapRun run(manifest_path, std::move(manifest), options);
+  ParallelSwapRun run(resolved.manifest_path, std::move(manifest), options);
   SEMIS_RETURN_IF_ERROR(run.Execute(initial_set, initial_states, &res));
   res.seconds = timer.ElapsedSeconds();
   *result = std::move(res);

@@ -47,6 +47,14 @@ struct EnginePipelineOptions {
   /// (or automatically at the end of ApplyBatch). 0 disables automatic
   /// compaction; Compact(/*force=*/true) still compacts everything.
   uint64_t compact_threshold_entries = 0;
+
+  /// Streaming maintenance only: when a compaction changes degrees and
+  /// clears the degree-sorted flag, immediately run the background
+  /// re-sort (ShardedStreamingMis::Resort) to restore global (degree, id)
+  /// order, published through the same epoch commit. Storage-only like
+  /// compaction itself: the effective graph and the maintained set are
+  /// unchanged, so the determinism contract holds.
+  bool auto_resort = false;
 };
 
 }  // namespace semis

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "graph/shard_store.h"
+
 namespace semis {
 
 namespace {
@@ -355,9 +357,13 @@ ShardedAdjacencyScanner::ShardedAdjacencyScanner(IoStats* stats)
     : stats_(stats), reader_(stats) {}
 
 Status ShardedAdjacencyScanner::Open(const std::string& manifest_path) {
-  manifest_path_ = manifest_path;
+  // The path may be a journaled store root (SEPR); shard paths must then
+  // derive from the resolved epoch manifest, not the root.
+  ResolvedShardStore resolved;
+  SEMIS_RETURN_IF_ERROR(ResolveShardStore(manifest_path, &resolved, stats_));
+  manifest_path_ = resolved.manifest_path;
   SEMIS_RETURN_IF_ERROR(
-      ReadShardedAdjacencyManifest(manifest_path, &manifest_, stats_));
+      ReadShardedAdjacencyManifest(manifest_path_, &manifest_, stats_));
   if (stats_ != nullptr) stats_->sequential_scans++;
   current_shard_ = 0;
   SEMIS_RETURN_IF_ERROR(reader_.Open(manifest_path_, manifest_, 0));
@@ -418,9 +424,13 @@ Status ManifestOrderedShardCursor::Open(const std::string& manifest_path,
   if (open_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("cursor is already open");
   }
-  manifest_path_ = manifest_path;
+  // Resolve a possible journaled-store root to its current epoch manifest
+  // so the decoder threads open the epoch's shard files.
+  ResolvedShardStore resolved;
+  SEMIS_RETURN_IF_ERROR(ResolveShardStore(manifest_path, &resolved, stats_));
+  manifest_path_ = resolved.manifest_path;
   SEMIS_RETURN_IF_ERROR(
-      ReadShardedAdjacencyManifest(manifest_path, &manifest_, stats_));
+      ReadShardedAdjacencyManifest(manifest_path_, &manifest_, stats_));
   if (stats_ != nullptr) stats_->sequential_scans++;
   pool_ = pool;
   block_bytes_ = ring.block_bytes != 0 ? ring.block_bytes

@@ -116,8 +116,15 @@ Status WriteEdgeDeltaManifest(const std::string& path,
 
 Status CreateEdgeDeltaShardLog(const std::string& delta_path, uint32_t index,
                                uint64_t num_vertices, IoStats* stats) {
+  return CreateEdgeDeltaShardLogAtPath(EdgeDeltaShardPath(delta_path, index),
+                                       index, num_vertices, stats);
+}
+
+Status CreateEdgeDeltaShardLogAtPath(const std::string& log_path,
+                                     uint32_t index, uint64_t num_vertices,
+                                     IoStats* stats) {
   SequentialFileWriter writer(stats);
-  SEMIS_RETURN_IF_ERROR(writer.Open(EdgeDeltaShardPath(delta_path, index)));
+  SEMIS_RETURN_IF_ERROR(writer.Open(log_path));
   SEMIS_RETURN_IF_ERROR(writer.AppendU32(kDeltaShardMagic));
   SEMIS_RETURN_IF_ERROR(writer.AppendU32(kVersion));
   SEMIS_RETURN_IF_ERROR(writer.AppendU32(index));
@@ -130,8 +137,13 @@ EdgeDeltaShardWriter::EdgeDeltaShardWriter(IoStats* stats) : writer_(stats) {}
 
 Status EdgeDeltaShardWriter::Open(const std::string& delta_path,
                                   uint32_t index, uint64_t num_vertices) {
+  return OpenAtPath(EdgeDeltaShardPath(delta_path, index), num_vertices);
+}
+
+Status EdgeDeltaShardWriter::OpenAtPath(const std::string& log_path,
+                                        uint64_t num_vertices) {
   num_vertices_ = num_vertices;
-  return writer_.OpenAppend(EdgeDeltaShardPath(delta_path, index));
+  return writer_.OpenAppend(log_path);
 }
 
 Status EdgeDeltaShardWriter::Append(const EdgeDeltaEntry& entry) {

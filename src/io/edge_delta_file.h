@@ -103,6 +103,15 @@ Status CreateEdgeDeltaShardLog(const std::string& delta_path, uint32_t index,
                                uint64_t num_vertices,
                                IoStats* stats = nullptr);
 
+/// As CreateEdgeDeltaShardLog, but at an explicit path instead of the
+/// derived one. The epoch journal stages logs under temporary names
+/// (write-new + rename) because a live log may be hard-linked into the
+/// previous epoch's namespace, and truncating the shared inode in place
+/// would corrupt the fallback epoch.
+Status CreateEdgeDeltaShardLogAtPath(const std::string& log_path,
+                                     uint32_t index, uint64_t num_vertices,
+                                     IoStats* stats = nullptr);
+
 /// Append-only writer for one shard's delta log. The log file must exist
 /// (CreateEdgeDeltaShardLog); entries must arrive in strictly increasing
 /// sequence order relative to the log's existing tail -- the writer only
@@ -117,6 +126,9 @@ class EdgeDeltaShardWriter {
   /// appending.
   Status Open(const std::string& delta_path, uint32_t index,
               uint64_t num_vertices);
+
+  /// Opens the log at an explicit path for appending (staging rewrites).
+  Status OpenAtPath(const std::string& log_path, uint64_t num_vertices);
 
   /// Appends one entry.
   Status Append(const EdgeDeltaEntry& entry);

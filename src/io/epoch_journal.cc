@@ -1,0 +1,113 @@
+#include "io/epoch_journal.h"
+
+#include <cstddef>
+
+#include "io/file.h"
+#include "util/crash_point.h"
+
+namespace semis {
+
+namespace {
+
+// FNV-1a over the five leading u64-aligned words of the pointer record
+// (magic, version, current, previous), mixed field by field so field
+// order is part of the checksum.
+uint64_t RootChecksum(const EpochRootPointer& root) {
+  uint64_t h = 1469598103934665603ull;
+  const uint64_t words[4] = {kEpochRootMagic, kEpochRootVersion,
+                             root.current_epoch, root.previous_epoch};
+  for (uint64_t w : words) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (w >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string EpochManifestPath(const std::string& root_path, uint64_t epoch) {
+  return root_path + ".epoch" + std::to_string(epoch);
+}
+
+Status ReadEpochRootPointer(const std::string& root_path,
+                            EpochRootPointer* out, IoStats* stats) {
+  uint64_t size = 0;
+  SEMIS_RETURN_IF_ERROR(GetFileSize(root_path, &size));
+  SequentialFileReader reader(stats, /*buffer_bytes=*/64);
+  SEMIS_RETURN_IF_ERROR(reader.Open(root_path));
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  EpochRootPointer root;
+  uint64_t checksum = 0;
+  SEMIS_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  SEMIS_RETURN_IF_ERROR(reader.ReadU32(&version));
+  SEMIS_RETURN_IF_ERROR(reader.ReadU64(&root.current_epoch));
+  SEMIS_RETURN_IF_ERROR(reader.ReadU64(&root.previous_epoch));
+  SEMIS_RETURN_IF_ERROR(reader.ReadU64(&checksum));
+  if (magic != kEpochRootMagic) {
+    return Status::Corruption("bad epoch root magic in '" + root_path + "'");
+  }
+  if (version != kEpochRootVersion) {
+    return Status::Corruption("unsupported epoch root version " +
+                              std::to_string(version) + " in '" + root_path +
+                              "'");
+  }
+  if (!reader.AtEof()) {
+    return Status::Corruption("trailing bytes after epoch root pointer in '" +
+                              root_path + "'");
+  }
+  if (checksum != RootChecksum(root)) {
+    return Status::Corruption("epoch root checksum mismatch in '" + root_path +
+                              "'");
+  }
+  if (root.current_epoch == 0) {
+    return Status::Corruption("epoch root names epoch 0 in '" + root_path +
+                              "'");
+  }
+  if (root.previous_epoch >= root.current_epoch) {
+    return Status::Corruption("epoch root previous >= current in '" +
+                              root_path + "'");
+  }
+  *out = root;
+  return Status::OK();
+}
+
+Status WriteEpochRootPointer(const std::string& root_path,
+                             const EpochRootPointer& root, IoStats* stats) {
+  if (root.current_epoch == 0 || root.previous_epoch >= root.current_epoch) {
+    return Status::InvalidArgument("invalid epoch root pointer contents");
+  }
+  const std::string tmp = root_path + ".tmp";
+  {
+    SequentialFileWriter writer(stats, /*buffer_bytes=*/64);
+    SEMIS_RETURN_IF_ERROR(writer.Open(tmp));
+    SEMIS_RETURN_IF_ERROR(writer.AppendU32(kEpochRootMagic));
+    SEMIS_RETURN_IF_ERROR(writer.AppendU32(kEpochRootVersion));
+    SEMIS_RETURN_IF_ERROR(writer.AppendU64(root.current_epoch));
+    SEMIS_RETURN_IF_ERROR(writer.AppendU64(root.previous_epoch));
+    SEMIS_RETURN_IF_ERROR(writer.AppendU64(RootChecksum(root)));
+    SEMIS_RETURN_IF_ERROR(writer.Sync());
+    SEMIS_RETURN_IF_ERROR(writer.Close());
+  }
+  SEMIS_CRASH_POINT("epoch-root.tmp-durable");
+  SEMIS_RETURN_IF_ERROR(RenameFile(tmp, root_path));
+  SEMIS_CRASH_POINT("epoch-root.renamed");
+  SEMIS_RETURN_IF_ERROR(SyncParentDirectory(root_path));
+  SEMIS_CRASH_POINT("epoch-root.dir-synced");
+  return Status::OK();
+}
+
+Status ProbeFileMagic(const std::string& path, uint32_t* magic,
+                      IoStats* stats) {
+  uint64_t size = 0;
+  SEMIS_RETURN_IF_ERROR(GetFileSize(path, &size));
+  *magic = 0;
+  if (size < sizeof(uint32_t)) return Status::OK();
+  SequentialFileReader reader(stats, /*buffer_bytes=*/64);
+  SEMIS_RETURN_IF_ERROR(reader.Open(path));
+  return reader.ReadU32(magic);
+}
+
+}  // namespace semis

@@ -1,0 +1,76 @@
+// Copyright (c) the semis authors.
+// The epoch root pointer: the single small file whose atomic replacement
+// commits a multi-file mutation of a sharded store.
+//
+// A journaled SADJS store rooted at `<root>` keeps its actual manifest
+// (and everything derived from it: shards, delta manifest, delta logs)
+// under per-epoch names `<root>.epoch<E>*`, and `<root>` itself holds a
+// fixed-size SEPR root pointer naming the current epoch plus the previous
+// one kept as a fallback. Commit protocol (see docs/formats.md "Epoch
+// journal"):
+//
+//   1. write every file of epoch E+1 under its own names (fresh writes or
+//      hard links to unchanged epoch-E files), fsync them;
+//   2. fsync the parent directory (the new names are now durable);
+//   3. write `<root>.tmp` with {current = E+1, previous = E}, fsync,
+//      rename over `<root>`, fsync the directory.
+//
+// A crash anywhere before step 3's rename leaves `<root>` pointing at
+// epoch E, whose files are untouched -- the half-written E+1 files are
+// orphans removed by GC. After the rename the store IS epoch E+1.
+// Recovery (graph/shard_store.h) validates the pointed-to epoch and falls
+// back to `previous` if it is damaged.
+//
+// The pointer is checksummed so a torn or scribbled root reads as
+// Corruption instead of as a bogus epoch number.
+#ifndef SEMIS_IO_EPOCH_JOURNAL_H_
+#define SEMIS_IO_EPOCH_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace semis {
+
+/// Magic of the root pointer file: "SEPR" little-endian.
+inline constexpr uint32_t kEpochRootMagic = 0x52504553u;
+inline constexpr uint32_t kEpochRootVersion = 1;
+
+/// Contents of a root pointer. Epoch numbers start at 1; previous_epoch 0
+/// means "no fallback epoch" (the store was just converted or the
+/// previous epoch was already retired by a fallback).
+struct EpochRootPointer {
+  uint64_t current_epoch = 0;
+  uint64_t previous_epoch = 0;
+};
+
+/// `<root>.epoch<E>`: the SADJS manifest path of epoch E. Shard and delta
+/// paths derive from it through the usual ShardFilePath /
+/// EdgeDeltaManifestPath functions.
+std::string EpochManifestPath(const std::string& root_path, uint64_t epoch);
+
+/// Reads and validates a root pointer: magic, version, checksum, a
+/// current epoch >= 1 and previous < current. Corruption on any mismatch,
+/// NotFound if the file is missing.
+Status ReadEpochRootPointer(const std::string& root_path,
+                            EpochRootPointer* out, IoStats* stats = nullptr);
+
+/// Durably publishes `root`: writes `<root>.tmp`, fsyncs it, renames it
+/// over `<root>`, and fsyncs the parent directory. This is the commit
+/// point of the epoch protocol -- everything epoch `current` references
+/// must already be durable when this is called.
+Status WriteEpochRootPointer(const std::string& root_path,
+                             const EpochRootPointer& root,
+                             IoStats* stats = nullptr);
+
+/// Cheap probe: reads the first 4 bytes of `path` into `*magic` (0 if the
+/// file is shorter). NotFound if missing. Used to route journaled vs
+/// legacy stores without parsing either format.
+Status ProbeFileMagic(const std::string& path, uint32_t* magic,
+                      IoStats* stats = nullptr);
+
+}  // namespace semis
+
+#endif  // SEMIS_IO_EPOCH_JOURNAL_H_

@@ -1,8 +1,11 @@
 #include "io/file.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace semis {
@@ -81,6 +84,17 @@ Status SequentialFileWriter::Flush() {
       return Status::IOError(ErrnoMessage("short write to", path_));
     }
     buffered_ = 0;
+  }
+  return Status::OK();
+}
+
+Status SequentialFileWriter::Sync() {
+  SEMIS_RETURN_IF_ERROR(Flush());
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(ErrnoMessage("fflush failed for", path_));
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError(ErrnoMessage("fsync failed for", path_));
   }
   return Status::OK();
 }
@@ -200,6 +214,47 @@ Status GetFileSize(const std::string& path, uint64_t* size) {
 Status RemoveFileIfExists(const std::string& path) {
   if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
     return Status::IOError(ErrnoMessage("remove failed for", path));
+  }
+  return Status::OK();
+}
+
+Status SyncFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open to sync", path));
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) s = Status::IOError(ErrnoMessage("fsync failed for", path));
+  ::close(fd);
+  return s;
+}
+
+Status SyncParentDirectory(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open dir", dir));
+  Status s = Status::OK();
+  // Some filesystems refuse fsync on directory fds (EINVAL); the rename
+  // is still atomic there, so only real I/O errors are reported.
+  if (::fsync(fd) != 0 && errno != EINVAL) {
+    s = Status::IOError(ErrnoMessage("fsync failed for dir", dir));
+  }
+  ::close(fd);
+  return s;
+}
+
+Status HardLinkFile(const std::string& src, const std::string& dst) {
+  if (::link(src.c_str(), dst.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage("cannot hard-link to '" + dst + "' from",
+                                        src));
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage("cannot rename to '" + to + "' from",
+                                        from));
   }
   return Status::OK();
 }

@@ -49,6 +49,10 @@ class SequentialFileWriter {
   /// Flushes the user-space buffer to the OS.
   Status Flush();
 
+  /// Flushes and fsync()s: on return the bytes written so far are durable
+  /// (modulo the containing directory entry -- see SyncParentDirectory).
+  Status Sync();
+
   /// Flushes and closes. Safe to call twice.
   Status Close();
 
@@ -129,6 +133,21 @@ Status GetFileSize(const std::string& path, uint64_t* size);
 
 /// Removes a file if it exists (missing file is not an error).
 Status RemoveFileIfExists(const std::string& path);
+
+/// fsync()s an existing file by path (open + fsync + close).
+Status SyncFile(const std::string& path);
+
+/// fsync()s the directory containing `path`, making renames/creates/links
+/// of entries in it durable. "" and paths without '/' sync ".".
+Status SyncParentDirectory(const std::string& path);
+
+/// Creates hard link `dst` referring to `src`'s inode. Fails if `dst`
+/// exists. Used by the epoch journal to carry unchanged store files into a
+/// new epoch without copying bytes.
+Status HardLinkFile(const std::string& src, const std::string& dst);
+
+/// rename(2) with a Status-carrying error message.
+Status RenameFile(const std::string& from, const std::string& to);
 
 }  // namespace semis
 

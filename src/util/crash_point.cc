@@ -1,0 +1,44 @@
+#include "util/crash_point.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace semis {
+
+namespace {
+
+// 0 = unarmed; otherwise the 1-based index of the site that dies.
+long ArmedTarget() {
+  static const long target = [] {
+    const char* env = std::getenv("SEMIS_CRASH_POINT");
+    if (env == nullptr || *env == '\0') return 0L;
+    char* end = nullptr;
+    long value = std::strtol(env, &end, 10);
+    if (end == nullptr || *end != '\0' || value < 1) return 0L;
+    return value;
+  }();
+  return target;
+}
+
+std::atomic<long> g_sites_hit{0};
+
+}  // namespace
+
+bool CrashPointsArmed() { return ArmedTarget() != 0; }
+
+void CrashPointHit(const char* site) {
+  const long target = ArmedTarget();
+  if (target == 0) return;
+  const long index = g_sites_hit.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (index != target) return;
+  // stderr is unbuffered; _exit skips every flush and destructor, like a
+  // SIGKILL delivered right after this line.
+  std::fprintf(stderr, "SEMIS_CRASH_POINT %ld: dying at site '%s'\n", index,
+               site);
+  _exit(137);
+}
+
+}  // namespace semis

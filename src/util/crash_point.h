@@ -1,0 +1,41 @@
+// Copyright (c) the semis authors.
+// Deterministic kill-point instrumentation for crash-recovery fuzzing.
+//
+// Production code marks the hazardous instants of a multi-file commit
+// (file written, rename done, root pointer flipped, ...) with
+// SEMIS_CRASH_POINT("site-name"). In normal runs the macro is a cheap
+// predicted-false branch on one relaxed atomic load. When the process is
+// started with the environment variable SEMIS_CRASH_POINT=<n> (n >= 1),
+// the n-th site reached process-wide prints its name to stderr and dies
+// with _exit(137) -- no stdio flush, no destructors, no atexit: the
+// closest portable approximation of `kill -9` at exactly that point. The
+// crash-recovery harness sweeps n = 1, 2, ... until a run survives,
+// proving every intermediate crash state recovers.
+//
+// Sites must sit only on sequentially-executed paths (the single mutator
+// thread's commit protocol), so the site numbering is deterministic for a
+// given command line. tools/semis_lint.py does not flag this file: the
+// branch never influences any output the determinism contract covers --
+// either the process continues untouched or it is dead.
+#ifndef SEMIS_UTIL_CRASH_POINT_H_
+#define SEMIS_UTIL_CRASH_POINT_H_
+
+namespace semis {
+
+/// True when SEMIS_CRASH_POINT is set in the environment (checked once).
+bool CrashPointsArmed();
+
+/// Counts one crash site; kills the process if it is the configured one.
+void CrashPointHit(const char* site);
+
+}  // namespace semis
+
+/// Marks one crash site. Expands to a single branch when unarmed.
+#define SEMIS_CRASH_POINT(site)                          \
+  do {                                                   \
+    if (::semis::CrashPointsArmed()) {                   \
+      ::semis::CrashPointHit(site);                      \
+    }                                                    \
+  } while (0)
+
+#endif  // SEMIS_UTIL_CRASH_POINT_H_

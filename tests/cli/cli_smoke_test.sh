@@ -132,6 +132,50 @@ grep -q "degree_sorted=true" "$work/degok.log" \
     || fail "solve --stats did not report degree_sorted=true"
 grep -q "not degree-sorted" "$work/degok.err" \
     && fail "solve warned about a sorted manifest"
+# The degraded-order warning reports the re-sort status so the operator
+# knows whether the order will come back on its own.
+grep -q "Background re-sort: not scheduled" "$work/updeg.err" \
+    || fail "update warning did not report the re-sort status"
+
+# --- background re-sort + fsck ----------------------------------------------
+# gc.sadjs is still not degree-sorted: an update with --resort announces
+# the plan at open time, restores (degree, id) order off the back of the
+# compaction, and reports completion on stderr.
+"$CLI" update "$work/gc.sadjs" --stream "$work/updates.txt" --batch 8 \
+    --compact --resort --verify --stats \
+    > "$work/resort.log" 2> "$work/resort.err" \
+    || fail "update --resort exited non-zero"
+grep -q "Background re-sort: scheduled" "$work/resort.err" \
+    || fail "update --resort did not announce the scheduled re-sort"
+grep -q "background re-sort complete" "$work/resort.err" \
+    || fail "update --resort reported no completion"
+grep -q "degree-sorted order restored" "$work/resort.err" \
+    || fail "update --resort did not confirm the restored order"
+grep -q "degree_sorted=true" "$work/resort.log" \
+    || fail "update --stats did not report degree_sorted=true after re-sort"
+# Storage-only contract: the re-sorted store solves to the same set as
+# the compacted one did before the re-sort.
+"$CLI" solve "$work/gc.sadjs" --algo greedy --stats > "$work/degsrt.log" \
+    2> "$work/degsrt.err" || fail "solve after re-sort exited non-zero"
+grep -q "degree_sorted=true" "$work/degsrt.log" \
+    || fail "solve --stats does not see the restored flag"
+grep -q "not degree-sorted" "$work/degsrt.err" \
+    && fail "solve warned about a re-sorted manifest"
+
+# fsck: the compacted store is epoch-journaled and clean; a freshly
+# sharded one is still the legacy layout.
+"$CLI" fsck "$work/gc.sadjs" > "$work/fsck.log" \
+    || fail "fsck on a journaled store exited non-zero"
+grep -q "journaled store" "$work/fsck.log" \
+    || fail "fsck did not identify the journaled store"
+grep -q "no orphaned files" "$work/fsck.log" \
+    || fail "fsck found orphans after a clean re-sort"
+"$CLI" fsck "$work/gc.sadjs" --gc >/dev/null || fail "fsck --gc exited non-zero"
+"$CLI" fsck "$work/gs.sadjs" > "$work/fsck_legacy.log" \
+    || fail "fsck on a legacy store exited non-zero"
+grep -q "legacy store" "$work/fsck_legacy.log" \
+    || fail "fsck did not identify the legacy store"
+"$CLI" fsck >/dev/null 2>&1 && fail "fsck with no input exited 0"
 
 # --- engine lifecycle session ------------------------------------------------
 cat > "$work/session.txt" <<'EOF'

@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Kill-point recovery fuzz harness for the epoch-journaled shard store.
+#
+#   crash_recovery_test.sh <path-to-semis_cli>
+#
+# For every crash site in the commit protocol (SEMIS_CRASH_POINT=<n>
+# kills the n-th site reached -- see src/util/crash_point.h), run
+# `semis_cli update --stream ... --compact --resort` until it dies at
+# that site, then prove the survivor state recovers:
+#
+#   1. `fsck --gc` must exit 0 (root resolves, epoch validates, the
+#      fallback -- if any -- is made durable, orphans are collected);
+#   2. an empty-stream `update --verify` must serve EXACTLY the set the
+#      uncrashed pipeline produces (the commit protocol is storage-only:
+#      every crash point sits after the full stream was logged durably,
+#      so the maintained set is checkpoint-independent);
+#   3. a second `fsck` must report zero orphaned files.
+#
+# The sweep walks n = 1, 2, ... until a run survives (exit 0), so new
+# crash sites are covered automatically; MAX_POINTS only bounds runaway.
+#
+# Environment knobs (the nightly sweep widens all three):
+#   CRASH_SEEDS        graph seeds, space-separated        (default "7")
+#   CRASH_GEOMS        "shards:threads" pairs              (default "1:1 3:2")
+#   MAX_POINTS         sweep upper bound per geometry      (default 64)
+#   CRASH_SCRATCH_DIR  scratch root; kept (not deleted) when set, so CI
+#                      can upload the tree of a failing sweep
+set -u
+
+CLI="$1"
+
+if [ -n "${CRASH_SCRATCH_DIR:-}" ]; then
+  work="$CRASH_SCRATCH_DIR"
+  mkdir -p "$work"
+else
+  work="$(mktemp -d "${TMPDIR:-/tmp}/semis-crash.XXXXXX")"
+  trap 'rm -rf "$work"' EXIT
+fi
+
+SEEDS="${CRASH_SEEDS:-7}"
+GEOMS="${CRASH_GEOMS:-1:1 3:2}"
+MAX_POINTS="${MAX_POINTS:-64}"
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "FAIL: scratch tree: $work" >&2
+  exit 1
+}
+
+# The update stream: inserts and deletes that change degrees, so the
+# forced compaction clears the degree-sorted flag and --resort has a
+# re-sort to publish (maximizing the crash sites a sweep visits).
+cat > "$work/updates.txt" <<'EOF'
++ 0 1999
++ 1 1998
++ 2 1997
+- 0 1999
++ 5 1500
++ 7 8
++ 100 200
++ 3 1996
+- 7 8
++ 11 1200
+EOF
+# Recovery applies no updates: it must serve what the store committed.
+printf '# empty recovery stream\n' > "$work/empty.txt"
+
+total_crashes=0
+for seed in $SEEDS; do
+  "$CLI" generate --vertices 2000 --avg-degree 4 --seed "$seed" \
+      --out "$work/g$seed.adj" >/dev/null || fail "generate (seed $seed)"
+  "$CLI" sort "$work/g$seed.adj" "$work/g$seed.sadj" --memory-mb 8 \
+      >/dev/null || fail "sort (seed $seed)"
+
+  for geom in $GEOMS; do
+    shards="${geom%%:*}"
+    threads="${geom##*:}"
+    ctx="seed=$seed shards=$shards threads=$threads"
+    pristine="$work/p_${seed}_${shards}.sadjs"
+    if [ ! -e "$pristine" ]; then
+      "$CLI" shard "$work/g$seed.sadj" "$pristine" --shards "$shards" \
+          >/dev/null || fail "shard ($ctx)"
+    fi
+
+    # Uncrashed golden: the maintained set after stream + compact +
+    # re-sort. Byte-compared against every recovery below.
+    golden_store="$work/golden_${seed}_${shards}_${threads}.sadjs"
+    cp "$pristine" "$golden_store"
+    for f in "$pristine".shard*; do
+      cp "$f" "$golden_store${f#"$pristine"}"
+    done
+    "$CLI" update "$golden_store" --stream "$work/updates.txt" --batch 3 \
+        --threads "$threads" --compact --resort --verify \
+        --out "$work/golden_${seed}_${shards}_${threads}.txt" >/dev/null \
+        || fail "uncrashed golden run ($ctx)"
+
+    survived=""
+    for n in $(seq 1 "$MAX_POINTS"); do
+      run="$work/run_${seed}_${shards}_${threads}_$n"
+      store="$run/s.sadjs"
+      mkdir -p "$run"
+      cp "$pristine" "$store"
+      for f in "$pristine".shard*; do
+        cp "$f" "$store${f#"$pristine"}"
+      done
+
+      SEMIS_CRASH_POINT="$n" "$CLI" update "$store" \
+          --stream "$work/updates.txt" --batch 3 --threads "$threads" \
+          --compact --resort --out "$run/out.txt" \
+          >"$run/run.log" 2>"$run/run.err"
+      status=$?
+      if [ "$status" -eq 0 ]; then
+        # Sweep exhausted: n-1 sites exist on this command line.
+        survived="$n"
+        rm -rf "$run"
+        break
+      fi
+      [ "$status" -eq 137 ] \
+          || fail "crash point $n exited $status, want 137 ($ctx)"
+      grep -q "SEMIS_CRASH_POINT $n: dying at site" "$run/run.err" \
+          || fail "crash point $n died without announcing its site ($ctx)"
+      total_crashes=$((total_crashes + 1))
+
+      # Recovery step 1: fsck repairs the root and collects orphans.
+      "$CLI" fsck "$store" --gc >"$run/fsck.log" 2>&1 \
+          || fail "fsck --gc failed after crash point $n ($ctx)"
+      # Recovery step 2: the served set is exactly the golden set.
+      "$CLI" update "$store" --stream "$work/empty.txt" --compact --verify \
+          --threads "$threads" --out "$run/rec.txt" \
+          >"$run/rec.log" 2>&1 \
+          || fail "recovery update failed after crash point $n ($ctx)"
+      cmp -s "$run/rec.txt" \
+          "$work/golden_${seed}_${shards}_${threads}.txt" \
+          || fail "recovered set differs from golden at crash point $n ($ctx)"
+      # Recovery step 3: nothing was left behind.
+      "$CLI" fsck "$store" >"$run/fsck2.log" 2>&1 \
+          || fail "post-recovery fsck failed at crash point $n ($ctx)"
+      grep -q "no orphaned files" "$run/fsck2.log" \
+          || fail "orphans survived recovery at crash point $n ($ctx)"
+      rm -rf "$run"
+    done
+    [ -n "$survived" ] \
+        || fail "sweep hit MAX_POINTS=$MAX_POINTS without surviving ($ctx)"
+    echo "swept $((survived - 1)) crash points ($ctx)"
+  done
+done
+
+# A sweep that never actually killed anything proves nothing -- guard
+# against the instrumentation rotting away.
+[ "$total_crashes" -gt 0 ] || fail "no crash point ever fired"
+
+echo "PASS: $total_crashes crash states recovered"

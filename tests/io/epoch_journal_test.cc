@@ -1,0 +1,172 @@
+// The epoch root pointer (io/epoch_journal.h) is the commit point of
+// every multi-file store mutation, so its reader must treat any byte the
+// writer did not produce -- torn writes, flipped bits, impossible epoch
+// pairs -- as Corruption, never as a bogus epoch number. The suite also
+// locks in the rename-over atomicity the commit protocol relies on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "io/epoch_journal.h"
+#include "io/file.h"
+#include "test_util.h"
+
+namespace semis {
+namespace {
+
+using testing_util::ScratchTest;
+
+class EpochJournalTest : public ScratchTest {};
+
+std::vector<char> ReadAllBytes(const std::string& path) {
+  std::vector<char> bytes;
+  SequentialFileReader r;
+  EXPECT_OK(r.Open(path));
+  char buf[4096];
+  size_t n = 0;
+  do {
+    EXPECT_OK(r.Read(buf, sizeof(buf), &n));
+    bytes.insert(bytes.end(), buf, buf + n);
+  } while (n > 0);
+  EXPECT_OK(r.Close());
+  return bytes;
+}
+
+void WriteAllBytes(const std::string& path, const std::vector<char>& bytes) {
+  SequentialFileWriter w;
+  EXPECT_OK(w.Open(path));
+  EXPECT_OK(w.Append(bytes.data(), bytes.size()));
+  EXPECT_OK(w.Close());
+}
+
+TEST_F(EpochJournalTest, RoundTrip) {
+  const std::string root = NewPath("store.sadjs");
+  EpochRootPointer out;
+  out.current_epoch = 7;
+  out.previous_epoch = 6;
+  ASSERT_OK(WriteEpochRootPointer(root, out));
+  EpochRootPointer in;
+  ASSERT_OK(ReadEpochRootPointer(root, &in));
+  EXPECT_EQ(in.current_epoch, 7u);
+  EXPECT_EQ(in.previous_epoch, 6u);
+  // The staging file was consumed by the rename.
+  uint64_t size = 0;
+  EXPECT_TRUE(GetFileSize(root + ".tmp", &size).IsNotFound());
+}
+
+TEST_F(EpochJournalTest, RewriteReplacesAtomically) {
+  const std::string root = NewPath("store.sadjs");
+  ASSERT_OK(WriteEpochRootPointer(root, {1, 0}));
+  ASSERT_OK(WriteEpochRootPointer(root, {2, 1}));
+  EpochRootPointer in;
+  ASSERT_OK(ReadEpochRootPointer(root, &in));
+  EXPECT_EQ(in.current_epoch, 2u);
+  EXPECT_EQ(in.previous_epoch, 1u);
+}
+
+TEST_F(EpochJournalTest, EpochManifestNaming) {
+  EXPECT_EQ(EpochManifestPath("/x/g.sadjs", 1), "/x/g.sadjs.epoch1");
+  EXPECT_EQ(EpochManifestPath("g", 42), "g.epoch42");
+}
+
+TEST_F(EpochJournalTest, MissingFileIsNotFound) {
+  EpochRootPointer in;
+  EXPECT_TRUE(ReadEpochRootPointer(NewPath("nope"), &in).IsNotFound());
+}
+
+TEST_F(EpochJournalTest, EveryFlippedByteIsCorruption) {
+  // The pointer is magic + version + two epochs + checksum; flipping ANY
+  // byte must be caught (magic/version mismatch or checksum failure),
+  // because a scribbled root silently naming the wrong epoch would serve
+  // the wrong graph.
+  const std::string root = NewPath("store.sadjs");
+  ASSERT_OK(WriteEpochRootPointer(root, {3, 2}));
+  const std::vector<char> good = ReadAllBytes(root);
+  ASSERT_FALSE(good.empty());
+  const std::string mutated = NewPath("mutated");
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::vector<char> bytes = good;
+    bytes[i] = static_cast<char>(bytes[i] ^ 0x40);
+    WriteAllBytes(mutated, bytes);
+    EpochRootPointer in;
+    Status s = ReadEpochRootPointer(mutated, &in);
+    EXPECT_FALSE(s.ok()) << "flipped byte " << i << " was accepted";
+  }
+}
+
+TEST_F(EpochJournalTest, TruncationAndTrailingBytesAreCorruption) {
+  const std::string root = NewPath("store.sadjs");
+  ASSERT_OK(WriteEpochRootPointer(root, {3, 2}));
+  const std::vector<char> good = ReadAllBytes(root);
+  const std::string mutated = NewPath("mutated");
+  for (size_t keep = 0; keep < good.size(); ++keep) {
+    WriteAllBytes(mutated,
+                  std::vector<char>(good.begin(), good.begin() + keep));
+    EpochRootPointer in;
+    EXPECT_FALSE(ReadEpochRootPointer(mutated, &in).ok())
+        << "truncation to " << keep << " bytes was accepted";
+  }
+  std::vector<char> padded = good;
+  padded.push_back('\0');
+  WriteAllBytes(mutated, padded);
+  EpochRootPointer in;
+  EXPECT_TRUE(ReadEpochRootPointer(mutated, &in).IsCorruption());
+}
+
+// Re-derives the writer's FNV-1a field checksum so the test can forge
+// correctly-checksummed pointers with impossible epoch pairs (the writer
+// itself refuses to produce them).
+uint64_t ForgedChecksum(uint64_t current, uint64_t previous) {
+  uint64_t h = 1469598103934665603ull;
+  const uint64_t words[4] = {kEpochRootMagic, kEpochRootVersion, current,
+                             previous};
+  for (uint64_t w : words) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (w >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+TEST_F(EpochJournalTest, ImpossibleEpochPairsAreRejected) {
+  const std::string root = NewPath("store.sadjs");
+  // current must be >= 1 and previous strictly older -- enforced at BOTH
+  // ends: the writer refuses to produce such a pointer, and the reader
+  // rejects a forged one even when its checksum is valid.
+  const uint64_t bad_pairs[][2] = {{0, 0}, {2, 2}, {2, 3}};
+  for (const auto& pair : bad_pairs) {
+    EXPECT_TRUE(WriteEpochRootPointer(root, {pair[0], pair[1]})
+                    .IsInvalidArgument());
+    SequentialFileWriter w;
+    ASSERT_OK(w.Open(root));
+    ASSERT_OK(w.AppendU32(kEpochRootMagic));
+    ASSERT_OK(w.AppendU32(kEpochRootVersion));
+    ASSERT_OK(w.AppendU64(pair[0]));
+    ASSERT_OK(w.AppendU64(pair[1]));
+    ASSERT_OK(w.AppendU64(ForgedChecksum(pair[0], pair[1])));
+    ASSERT_OK(w.Close());
+    EpochRootPointer in;
+    EXPECT_TRUE(ReadEpochRootPointer(root, &in).IsCorruption())
+        << "current=" << pair[0] << " previous=" << pair[1];
+  }
+}
+
+TEST_F(EpochJournalTest, ProbeFileMagic) {
+  const std::string root = NewPath("store.sadjs");
+  ASSERT_OK(WriteEpochRootPointer(root, {1, 0}));
+  uint32_t magic = 0;
+  ASSERT_OK(ProbeFileMagic(root, &magic));
+  EXPECT_EQ(magic, kEpochRootMagic);
+  // Shorter than 4 bytes: magic 0, not an error (the caller routes on it).
+  const std::string shorty = NewPath("shorty");
+  WriteAllBytes(shorty, {'S', 'E'});
+  ASSERT_OK(ProbeFileMagic(shorty, &magic));
+  EXPECT_EQ(magic, 0u);
+  EXPECT_TRUE(ProbeFileMagic(NewPath("missing"), &magic).IsNotFound());
+}
+
+}  // namespace
+}  // namespace semis

@@ -179,9 +179,12 @@ def main():
             print(f"::notice::bench improvement: {line}")
         else:
             print(f"bench_diff: {line}")
+    # An added benchmark is invisible to the regression gate until the
+    # next night anchors it -- announce it loudly instead of burying it
+    # in the log, so a rename (one added + one removed) reads as a pair.
     for name in only_new:
-        print(f"bench_diff: {name} is new (no baseline), "
-              f"{format_ms(current[name])}")
+        print(f"::warning::bench_diff: benchmark added: {name} "
+              f"({format_ms(current[name])}, no baseline to diff against)")
 
     # Memory/allocation counters: advisory only. Byte high-water marks and
     # allocation counts move with configuration (ring budgets, pool sizes)
@@ -235,6 +238,17 @@ def main():
             for name in only_new:
                 f.write(f"| `{name}` | — | {format_ms(current[name])} "
                         f"| new | |\n")
+            if only_new or missing:
+                f.write("\n### added / removed benchmarks\n\n")
+                f.write("Renames show up as one added + one removed row; "
+                        "a removal fails the gate until a rebaseline "
+                        "dispatch acknowledges it.\n\n")
+                for name in only_new:
+                    f.write(f"- ➕ added: `{name}` "
+                            f"({format_ms(current[name])}, no baseline)\n")
+                for name in missing:
+                    f.write(f"- ❌ removed: `{name}` (present in baseline, "
+                            f"missing from tonight's capture)\n")
             flagged_mem = [row for row in mem_rows if row[5]]
             if flagged_mem:
                 f.write("\n### memory/allocation counters (advisory, "

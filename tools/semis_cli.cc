@@ -23,15 +23,19 @@
 //   semis_cli color    <graph.sadj> [--mis-rounds R]
 //   semis_cli update   <graph.adj|graph.sadjs> --stream <updates.txt>
 //                      [--shards N] [--threads T] [--batch B]
-//                      [--compact-threshold E] [--compact] [--set set.txt]
-//                      [--out set.txt] [--verify]
+//                      [--compact-threshold E] [--compact] [--resort]
+//                      [--set set.txt] [--out set.txt] [--verify]
 //                      (maintains an independent set under the edge-update
 //                       stream: batched apply -> parallel repair; the
 //                       result is byte-identical for every thread count.
 //                       A monolithic input is sharded to <input>.sadjs
 //                       first; a SADJS manifest is updated in place. A
 //                       shard whose delta log reaches E entries is
-//                       compacted automatically, default 65536, 0 = off.)
+//                       compacted automatically, default 65536, 0 = off.
+//                       --resort schedules the background re-sort: when a
+//                       compaction clears the degree-sorted flag, the base
+//                       shards are rewritten in (degree, id) order through
+//                       the same atomic epoch commit.)
 //   semis_cli engine   <graph.adj|graph.sadjs> --script <session.txt>
 //                      [--algo baseline|greedy|onek|twok] [--rounds R]
 //                      [--shards N] [--threads T] [--compact-threshold E]
@@ -41,6 +45,13 @@
 //                       session; queries are served from immutable epoch
 //                       snapshots that never block on mutation)
 //   semis_cli unshard  <graph.sadjs> <graph.adj>
+//   semis_cli fsck     <graph.sadjs> [--gc]
+//                      (resolves a sharded store's root -- legacy SADM
+//                       manifest or SEPR epoch root pointer -- validates
+//                       the serving epoch, reports a fallback to the
+//                       previous epoch, and lists files no live epoch
+//                       references; --gc makes the fallback durable and
+//                       removes the orphans)
 //
 // Every command is semi-external: O(|V|) memory, sequential file I/O.
 //
@@ -75,7 +86,9 @@
 #include "graph/degree_sort.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "graph/shard_store.h"
 #include "graph/sharded_adjacency_file.h"
+#include "io/epoch_journal.h"
 #include "util/memory_tracker.h"
 
 namespace semis {
@@ -100,11 +113,13 @@ void PrintUsage(std::FILE* to) {
       "  color    <graph.sadj> [--mis-rounds R]\n"
       "  update   <graph.adj|graph.sadjs> --stream <updates.txt> "
       "[--shards N] [--threads T] [--batch B] [--compact-threshold E] "
-      "[--compact] [--set set.txt] [--out set.txt] [--verify] [--stats]\n"
+      "[--compact] [--resort] [--set set.txt] [--out set.txt] [--verify] "
+      "[--stats]\n"
       "  engine   <graph.adj|graph.sadjs> --script <session.txt> "
       "[--algo baseline|greedy|onek|twok] [--rounds R] [--shards N] "
       "[--threads T] [--compact-threshold E] [--out set.txt] [--stats]\n"
-      "  unshard  <graph.sadjs> <graph.adj>\n");
+      "  unshard  <graph.sadjs> <graph.adj>\n"
+      "  fsck     <graph.sadjs> [--gc]\n");
 }
 
 // Bad usage (missing/unknown command or arguments) is an error: print the
@@ -132,8 +147,8 @@ struct Args {
       } else if (arg.rfind("--", 0) == 0) {
         std::string key = arg.substr(2);
         std::string value;
-        if (key == "verify" || key == "compact" ||
-            key == "stats") {  // boolean flags
+        if (key == "verify" || key == "compact" || key == "stats" ||
+            key == "resort" || key == "gc") {  // boolean flags
           value = "1";
         } else if (i + 1 < argc) {
           value = argv[++i];
@@ -244,29 +259,35 @@ bool ParseCount(const std::string& text, long min, long max, uint32_t* out) {
   return true;
 }
 
-// True when the file at `path` starts with the SADJS manifest magic.
-// Unreadable files are "not a manifest" -- the consuming command will
-// surface the real open error.
+// True when the file at `path` is a sharded-store root: a SADJS manifest
+// or a SEPR epoch root pointer (both detected by magic). Unreadable files
+// are "not a manifest" -- the consuming command will surface the real
+// open error.
 bool IsManifestFile(const std::string& path) {
-  SequentialFileReader probe;
   uint32_t magic = 0;
-  return probe.Open(path).ok() && probe.ReadU32(&magic).ok() &&
-         magic == kShardManifestMagic;
+  return ProbeFileMagic(path, &magic).ok() &&
+         (magic == kShardManifestMagic || magic == kEpochRootMagic);
 }
 
-// The degree-sorted-flag warning shared by solve/update/engine: shards
-// cannot be re-sorted in place, so a cleared flag (typically a
-// compaction that changed record degrees) silently demotes GREEDY to
-// BASELINE order until the graph is re-sorted.
-void WarnNotDegreeSorted(const std::string& manifest_path) {
+// The degree-sorted-flag warning shared by solve/update/engine: a cleared
+// flag (typically a compaction that changed record degrees) silently
+// demotes GREEDY to BASELINE order until the store is re-sorted.
+// `resort_status` tells the operator where the background re-sort stands
+// ("scheduled ...", "not scheduled ...").
+void WarnNotDegreeSorted(const std::string& manifest_path,
+                         const std::string& resort_status) {
   std::fprintf(
       stderr,
       "warning: %s is not degree-sorted (the flag was cleared, e.g. by a "
       "compaction); sorted-order algorithms run in BASELINE order and set "
-      "quality may degrade. Rebuild with unshard + sort + shard to "
-      "restore GREEDY order.\n",
-      manifest_path.c_str());
+      "quality may degrade. Background re-sort: %s.\n",
+      manifest_path.c_str(), resort_status.c_str());
 }
+
+// What WarnNotDegreeSorted reports when no re-sort is coming.
+const char kResortNotScheduled[] =
+    "not scheduled (run `semis_cli update --resort` to restore GREEDY "
+    "order)";
 
 int CmdShard(const Args& args) {
   if (args.positional.size() != 2) return Usage();
@@ -363,10 +384,10 @@ int CmdSolve(const Args& args) {
   const bool is_manifest = IsManifestFile(args.positional[0]);
   if (is_manifest && opts.degree_sort) {
     ShardedAdjacencyManifest manifest;
-    Status ms = ReadShardedAdjacencyManifest(args.positional[0], &manifest);
+    Status ms = ReadShardStoreManifest(args.positional[0], &manifest);
     if (!ms.ok()) return Fail(ms);
     if (!manifest.header.IsDegreeSorted()) {
-      WarnNotDegreeSorted(args.positional[0]);
+      WarnNotDegreeSorted(args.positional[0], kResortNotScheduled);
       opts.degree_sort = false;
     }
   }
@@ -588,6 +609,7 @@ int CmdUpdate(const Args& args) {
     return 1;
   }
   const bool compact = args.Has("compact");
+  const bool resort = args.Has("resort");
   if (args.Has("verify") && !compact) {
     std::fprintf(stderr,
                  "error: --verify needs --compact (verification scans the "
@@ -602,16 +624,9 @@ int CmdUpdate(const Args& args) {
   // misleading "not an adjacency file" from the sharder.
   std::string manifest_path = input;
   ShardedAdjacencyManifest manifest;
-  bool is_manifest = false;
-  {
-    SequentialFileReader probe;
-    uint32_t magic = 0;
-    if (probe.Open(input).ok() && probe.ReadU32(&magic).ok()) {
-      is_manifest = magic == kShardManifestMagic;
-    }
-  }
+  const bool is_manifest = IsManifestFile(input);
   if (is_manifest) {
-    Status s = ReadShardedAdjacencyManifest(input, &manifest);
+    Status s = ReadShardStoreManifest(input, &manifest);
     if (!s.ok()) return Fail(s);
   } else {
     manifest_path = input + ".sadjs";
@@ -626,8 +641,11 @@ int CmdUpdate(const Args& args) {
   // The GREEDY-quality trap: a compaction may have cleared the sorted
   // flag since the graph was sharded. The maintenance loop below is
   // order-insensitive, but the from-scratch initial solve is not.
-  if (!manifest.header.IsDegreeSorted()) {
-    WarnNotDegreeSorted(manifest_path);
+  const bool opened_sorted = manifest.header.IsDegreeSorted();
+  if (!opened_sorted) {
+    WarnNotDegreeSorted(manifest_path,
+                        resort ? "scheduled (runs after the stream)"
+                               : kResortNotScheduled);
   }
 
   // The whole session runs on one resident engine: open (solve or adopt
@@ -641,6 +659,9 @@ int CmdUpdate(const Args& args) {
   // disk) stays bounded no matter how long the stream runs; 0 disables.
   eopts.pipeline.compact_threshold_entries = std::strtoull(
       args.Get("compact-threshold", "65536").c_str(), nullptr, 10);
+  // With --resort, every compaction that clears the degree-sorted flag
+  // immediately restores it through the same epoch commit.
+  eopts.pipeline.auto_resort = resort;
   MisEngine engine(eopts);
   if (args.Has("set")) {
     BitVector initial;
@@ -695,10 +716,33 @@ int CmdUpdate(const Args& args) {
     s = engine.Compact(/*force=*/true);
     if (!s.ok()) return Fail(s);
   }
+  if (resort) {
+    // Covers a flag cleared before this session too, not only by this
+    // session's compactions (which auto_resort already handled).
+    s = engine.Resort();
+    if (!s.ok()) return Fail(s);
+  }
   // Surface whatever the last batch (or a replayed overlay) left behind.
   EpochSnapshotRef final_epoch = engine.Publish();
 
   const StreamingMisStats& st = *engine.streaming_stats();
+  // Where the degree-sorted contract stands after the session, on stderr
+  // next to the open-time warning it resolves (or renews).
+  ShardedAdjacencyManifest now;
+  s = ReadShardStoreManifest(manifest_path, &now);
+  if (!s.ok()) return Fail(s);
+  if (st.resorts > 0) {
+    std::fprintf(stderr,
+                 "note: background re-sort complete: %llu pass(es) in %.2fs; "
+                 "degree-sorted order %s\n",
+                 static_cast<unsigned long long>(st.resorts),
+                 st.resort_seconds,
+                 now.header.IsDegreeSorted() ? "restored" : "NOT restored");
+  } else if (opened_sorted && !now.header.IsDegreeSorted()) {
+    // A compaction cleared the flag during THIS session and nothing
+    // restored it.
+    WarnNotDegreeSorted(manifest_path, kResortNotScheduled);
+  }
   std::printf("maintained set: %llu vertices after %llu updates\n",
               static_cast<unsigned long long>(final_epoch->set_size()),
               static_cast<unsigned long long>(st.updates_applied));
@@ -725,11 +769,8 @@ int CmdUpdate(const Args& args) {
               MemoryTracker::FormatBytes(st.io.bytes_read).c_str(),
               MemoryTracker::FormatBytes(st.io.bytes_written).c_str());
   if (args.Has("stats")) {
-    // Compact may have cleared the flag during THIS session; report the
-    // manifest's current state, not the one we opened with.
-    ShardedAdjacencyManifest now;
-    s = ReadShardedAdjacencyManifest(manifest_path, &now);
-    if (!s.ok()) return Fail(s);
+    // Compact/resort may have changed the flag during THIS session;
+    // report the manifest's current state, not the one we opened with.
     std::printf("  degree_sorted=%s\n",
                 now.header.IsDegreeSorted() ? "true" : "false");
     const EpochStats& es = final_epoch->stats();
@@ -805,10 +846,10 @@ int CmdEngine(const Args& args) {
   // cleared cannot run the sorted-order algorithms.
   if (IsManifestFile(args.positional[0]) && opts.degree_sort) {
     ShardedAdjacencyManifest manifest;
-    Status ms = ReadShardedAdjacencyManifest(args.positional[0], &manifest);
+    Status ms = ReadShardStoreManifest(args.positional[0], &manifest);
     if (!ms.ok()) return Fail(ms);
     if (!manifest.header.IsDegreeSorted()) {
-      WarnNotDegreeSorted(args.positional[0]);
+      WarnNotDegreeSorted(args.positional[0], kResortNotScheduled);
       opts.degree_sort = false;
     }
   }
@@ -983,6 +1024,69 @@ int CmdEngine(const Args& args) {
   return 0;
 }
 
+// Inspects (and with --gc repairs) a sharded store: resolves the root --
+// legacy SADM manifest or SEPR epoch root pointer -- validates the
+// serving epoch, reports a fallback to the previous epoch, and lists
+// files no live epoch references. --gc makes a fallback durable and
+// removes the orphans; without it nothing is written.
+int CmdFsck(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  const std::string root = args.positional[0];
+  ResolvedShardStore store;
+  ShardStoreRecovery recovery;
+  Status s = args.Has("gc") ? RecoverShardStore(root, &store, &recovery)
+                            : ResolveShardStore(root, &store);
+  if (!s.ok()) return Fail(s);
+  if (store.journaled) {
+    std::printf("journaled store %s: serving epoch %llu", root.c_str(),
+                static_cast<unsigned long long>(store.current_epoch));
+    if (store.previous_epoch != 0) {
+      std::printf(" (previous %llu kept for readers)",
+                  static_cast<unsigned long long>(store.previous_epoch));
+    }
+    std::printf("\n");
+  } else {
+    std::printf("legacy store %s (journals on its first compaction)\n",
+                root.c_str());
+  }
+  if (store.fell_back || recovery.fell_back) {
+    std::printf("  recovered: current epoch failed validation, fell back "
+                "to epoch %llu%s\n",
+                static_cast<unsigned long long>(store.current_epoch),
+                args.Has("gc") ? " (made durable)" : " (read-only; --gc "
+                                                     "makes it durable)");
+  }
+  ShardedAdjacencyManifest manifest;
+  s = ReadShardedAdjacencyManifest(store.manifest_path, &manifest);
+  if (!s.ok()) return Fail(s);
+  std::printf("  manifest %s: %llu vertices, %llu directed edges, "
+              "%u shards, degree_sorted=%s\n",
+              store.manifest_path.c_str(),
+              static_cast<unsigned long long>(manifest.header.num_vertices),
+              static_cast<unsigned long long>(
+                  manifest.header.num_directed_edges),
+              manifest.num_shards(),
+              manifest.header.IsDegreeSorted() ? "true" : "false");
+  if (args.Has("gc")) {
+    std::printf("  gc: removed %llu orphaned file(s)\n",
+                static_cast<unsigned long long>(
+                    recovery.orphan_files_removed));
+  }
+  std::vector<std::string> orphans;
+  s = ListShardStoreOrphans(store, &orphans);
+  if (!s.ok()) return Fail(s);
+  if (orphans.empty()) {
+    std::printf("  no orphaned files\n");
+  } else {
+    std::printf("  %zu orphaned file(s)%s:\n", orphans.size(),
+                args.Has("gc") ? "" : " (remove with --gc)");
+    for (const std::string& path : orphans) {
+      std::printf("    %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
 int CmdUnshard(const Args& args) {
   if (args.positional.size() != 2) return Usage();
   IoStats io;
@@ -1036,6 +1140,7 @@ int Main(int argc, char** argv) {
   if (cmd == "update") return CmdUpdate(args);
   if (cmd == "engine") return CmdEngine(args);
   if (cmd == "unshard") return CmdUnshard(args);
+  if (cmd == "fsck") return CmdFsck(args);
   return Usage();
 }
 
