@@ -7,6 +7,7 @@
 #include "core/one_k_swap.h"
 #include "core/parallel_greedy.h"
 #include "core/parallel_swap.h"
+#include "core/rounds_engine.h"
 #include "core/two_k_swap.h"
 #include "core/verify.h"
 #include "graph/adjacency_file.h"
@@ -35,19 +36,28 @@ Status MisEngine::IntermediateDir(std::string* dir) {
 Status MisEngine::RunShardPipeline(const std::string& manifest_path,
                                    bool require_degree_sorted,
                                    SolveResult* res) {
-  ParallelGreedyOptions greedy_opts;
-  greedy_opts.greedy.require_degree_sorted = require_degree_sorted;
-  greedy_opts.pipeline = options_.pipeline;
-  std::vector<VState> greedy_states;
-  SEMIS_RETURN_IF_ERROR(RunParallelGreedyWithStates(
-      manifest_path, greedy_opts, &res->greedy, &greedy_states));
-  const AlgoResult* final_stage = &res->greedy;
+  std::vector<VState> seed_states;
+  const AlgoResult* final_stage = nullptr;
+  if (options_.pipeline.engine == SolveEngine::kRounds) {
+    MinIdRoundsOptions rounds_opts;
+    rounds_opts.pipeline = options_.pipeline;
+    SEMIS_RETURN_IF_ERROR(RunMinIdRoundsWithStates(
+        manifest_path, rounds_opts, &res->rounds, &seed_states));
+    final_stage = &res->rounds;
+  } else {
+    ParallelGreedyOptions greedy_opts;
+    greedy_opts.greedy.require_degree_sorted = require_degree_sorted;
+    greedy_opts.pipeline = options_.pipeline;
+    SEMIS_RETURN_IF_ERROR(RunParallelGreedyWithStates(
+        manifest_path, greedy_opts, &res->greedy, &seed_states));
+    final_stage = &res->greedy;
+  }
   if (options_.swap != SwapMode::kNone) {
     ParallelSwapOptions swap_opts;
     swap_opts.max_rounds = options_.max_swap_rounds;
     swap_opts.num_threads = options_.pipeline.num_threads;
     swap_opts.enable_two_k = options_.swap == SwapMode::kTwoK;
-    SEMIS_RETURN_IF_ERROR(RunParallelSwap(manifest_path, greedy_states,
+    SEMIS_RETURN_IF_ERROR(RunParallelSwap(manifest_path, seed_states,
                                           swap_opts, &res->swap));
     final_stage = &res->swap;
   }
@@ -62,8 +72,10 @@ Status MisEngine::OpenMonolithic(const std::string& adjacency_path) {
   std::string work_path = adjacency_path;
   MemoryTracker sort_memory;
   bool input_sorted = false;
+  const bool rounds_engine =
+      options_.pipeline.engine == SolveEngine::kRounds;
 
-  if (options_.degree_sort) {
+  if (options_.degree_sort && !rounds_engine) {
     // The probe reads only the header; it is closed before the (possibly
     // hours-long) sort so no file handle dangles across the stage, and
     // its I/O is charged to the aggregate like every other read.
@@ -88,7 +100,8 @@ Status MisEngine::OpenMonolithic(const std::string& adjacency_path) {
       res.sort_seconds = sort_timer.ElapsedSeconds();
     }
   } else {
-    // BASELINE order: consume as-is, but still report whether the input
+    // BASELINE order (or the rounds engine, which is order-free and
+    // never sorts): consume as-is, but still report whether the input
     // happened to be degree-sorted. The uncharged peek keeps the I/O
     // accounting byte-identical to the pre-engine pipeline.
     AdjacencyFileScanner probe;
@@ -96,21 +109,25 @@ Status MisEngine::OpenMonolithic(const std::string& adjacency_path) {
     input_sorted = probe.header().IsDegreeSorted();
     SEMIS_RETURN_IF_ERROR(probe.Close());
   }
-  res.degree_sorted = options_.degree_sort || input_sorted;
+  res.degree_sorted =
+      (options_.degree_sort && !rounds_engine) || input_sorted;
 
   // Sharded pipeline: the (sorted) file is split into shards up front and
   // BOTH stages run over them -- greedy on the shard-pipelined executor,
   // swaps on the parallel round executor, which is seeded with greedy's
   // final state array so the monolithic file is never re-read. Every
-  // stage's result is byte-identical for any num_threads.
-  const bool sharded = options_.pipeline.num_shards > 1;
+  // stage's result is byte-identical for any num_threads. The rounds
+  // engine is shard-native, so it always takes this path (1 shard unless
+  // configured higher).
+  const bool sharded = rounds_engine || options_.pipeline.num_shards > 1;
   if (sharded) {
     WallTimer shard_timer;
     std::string dir;
     SEMIS_RETURN_IF_ERROR(IntermediateDir(&dir));
     const std::string manifest_path = dir + "/sharded.sadjs";
     SEMIS_RETURN_IF_ERROR(ShardAdjacencyFile(
-        work_path, manifest_path, options_.pipeline.num_shards, &res.io));
+        work_path, manifest_path,
+        std::max<uint32_t>(1, options_.pipeline.num_shards), &res.io));
     res.shard_seconds = shard_timer.ElapsedSeconds();
     SEMIS_RETURN_IF_ERROR(RunShardPipeline(
         manifest_path, /*require_degree_sorted=*/false, &res));
@@ -137,10 +154,11 @@ Status MisEngine::OpenMonolithic(const std::string& adjacency_path) {
   }
 
   res.io.MergeFrom(res.greedy.io);
+  res.io.MergeFrom(res.rounds.io);
   res.io.MergeFrom(res.swap.io);
   res.peak_memory_bytes =
-      std::max({res.greedy.peak_memory_bytes, res.swap.peak_memory_bytes,
-                sort_memory.PeakBytes()});
+      std::max({res.greedy.peak_memory_bytes, res.rounds.peak_memory_bytes,
+                res.swap.peak_memory_bytes, sort_memory.PeakBytes()});
 
   if (options_.verify) {
     VerifyResult vr;
@@ -171,7 +189,10 @@ Status MisEngine::OpenShardedInternal(const std::string& manifest_path,
   ShardedAdjacencyManifest manifest;
   SEMIS_RETURN_IF_ERROR(
       ReadShardStoreManifest(manifest_path, &manifest, &res->io));
-  if (options_.degree_sort && !manifest.header.IsDegreeSorted()) {
+  const bool rounds_engine =
+      options_.pipeline.engine == SolveEngine::kRounds;
+  if (options_.degree_sort && !rounds_engine &&
+      !manifest.header.IsDegreeSorted()) {
     return Status::InvalidArgument(
         "sharded input is not degree-sorted and cannot be sorted in place; "
         "sort before sharding or set degree_sort = false: " + manifest_path);
@@ -179,12 +200,15 @@ Status MisEngine::OpenShardedInternal(const std::string& manifest_path,
   res->degree_sorted = manifest.header.IsDegreeSorted();
 
   SEMIS_RETURN_IF_ERROR(RunShardPipeline(
-      manifest_path, /*require_degree_sorted=*/options_.degree_sort, res));
+      manifest_path,
+      /*require_degree_sorted=*/options_.degree_sort && !rounds_engine, res));
 
   res->io.MergeFrom(res->greedy.io);
+  res->io.MergeFrom(res->rounds.io);
   res->io.MergeFrom(res->swap.io);
   res->peak_memory_bytes =
-      std::max(res->greedy.peak_memory_bytes, res->swap.peak_memory_bytes);
+      std::max({res->greedy.peak_memory_bytes, res->rounds.peak_memory_bytes,
+                res->swap.peak_memory_bytes});
 
   if (options_.verify) {
     VerifyResult vr;

@@ -65,6 +65,9 @@ struct MisEngineOptions {
   /// GREEDY). When false the file is consumed as-is (paper BASELINE).
   /// Sharded input cannot be sorted in place, so there degree_sort
   /// demands the manifest's degree-sorted flag instead of sorting.
+  /// Ignored by pipeline.engine == SolveEngine::kRounds: min-id rounds
+  /// are record-order-free, so sorting (or demanding the sorted flag)
+  /// would cost I/O without changing the output.
   bool degree_sort = true;
   /// Swap stage of the open-time solve.
   SwapMode swap = SwapMode::kTwoK;
@@ -92,8 +95,12 @@ struct SolveResult {
   BitVector set;
   /// Number of vertices in the set.
   uint64_t set_size = 0;
-  /// Stage results (swap untouched when SwapMode::kNone).
+  /// Stage results: exactly one of greedy/rounds ran (per
+  /// pipeline.engine); swap untouched when SwapMode::kNone. The rounds
+  /// result's round_stats carries the per-round winner/frontier counters
+  /// `semis_cli solve --stats` reports.
   AlgoResult greedy;
+  AlgoResult rounds;
   AlgoResult swap;
   /// Seconds spent in the preprocessing sort (0 when skipped).
   double sort_seconds = 0.0;
@@ -272,10 +279,10 @@ class MisEngine {
  private:
   // Lazily creates the intermediate-artifact directory.
   Status IntermediateDir(std::string* dir);
-  // The deduplicated shard pipeline shared by every sharded open: greedy
-  // on the shard-pipelined executor seeded into the parallel round
-  // executor. `require_degree_sorted` gates the manifest flag with the
-  // same error text as the monolithic path.
+  // The deduplicated shard pipeline shared by every sharded open: the
+  // configured engine (shard-pipelined greedy or min-id rounds) seeded
+  // into the parallel swap executor. `require_degree_sorted` gates the
+  // manifest flag with the same error text as the monolithic path.
   Status RunShardPipeline(const std::string& manifest_path,
                           bool require_degree_sorted, SolveResult* res);
   // The monolithic pipeline: optional sort, then either the shard

@@ -44,6 +44,9 @@ struct RoundStats {
   uint64_t new_is_vertices = 0;   // P->I plus 0-1 additions
   uint64_t removed_is_vertices = 0;  // R->N
   uint64_t is_size_after = 0;  // |IS| at the end of the round
+  /// Rounds engine only: undecided vertices surviving the round (the
+  /// next round's frontier). 0 for the swap algorithms.
+  uint64_t frontier_after = 0;
   double seconds = 0.0;
 };
 

@@ -16,10 +16,33 @@
 
 namespace semis {
 
+/// Which solve engine produces the initial independent set (the stage an
+/// optional swap phase then improves). Both engines are deterministic at
+/// every shard/thread count; they differ in HOW vertices are ordered and
+/// therefore in which (equally valid) maximal set comes out. See
+/// docs/architecture.md "Engines" for the trade-off.
+enum class SolveEngine : uint8_t {
+  /// The paper's pipeline: Algorithm 1's strictly-ordered greedy commit
+  /// scan (degree order when sorted), shard-pipelined for I/O overlap.
+  kGreedySwap = 0,
+  /// Min-id rounds (core/rounds_engine.h): synchronous rounds of
+  /// "lowest-id active neighbor wins", fully parallel within a round.
+  /// Ignores record order, so it neither needs nor exploits degree-
+  /// sorted input.
+  kRounds,
+};
+
 /// Execution-pipeline configuration shared across layers. Every knob
-/// preserves the byte-identical determinism contract: no field changes
-/// WHAT is computed, only how it is scheduled, buffered, or stored.
+/// except `engine` preserves the byte-identical determinism contract: no
+/// other field changes WHAT is computed, only how it is scheduled,
+/// buffered, or stored. `engine` selects WHICH deterministic pipeline
+/// runs -- each engine then holds the contract on its own output.
 struct EnginePipelineOptions {
+  /// The solve engine behind Solver/MisEngine opens (and `semis_cli
+  /// solve --engine`). Executors that implement a single engine
+  /// (RunParallelGreedy, RunMinIdRounds) ignore it.
+  SolveEngine engine = SolveEngine::kGreedySwap;
+
   /// Number of adjacency shards when a monolithic input is split for the
   /// parallel executors (Solver/MisEngine monolithic opens). Values <= 1
   /// keep the sequential single-file path. Ignored by consumers whose

@@ -71,6 +71,47 @@ for shards in 1 3; do
   done
 done
 
+# --- rounds engine -----------------------------------------------------------
+# Unknown engines are rejected with exit 1 before any I/O happens.
+if "$CLI" solve "$work/g.sadj" --engine frobnicate >/dev/null 2>&1; then
+  fail "unknown --engine exited 0"
+fi
+# The min-id rounds engine solves, verifies, and reports its counters.
+"$CLI" solve "$work/g.sadj" --engine rounds --algo greedy --shards 4 \
+    --threads 2 --verify --stats --out "$work/rounds.txt" \
+    > "$work/rounds.log" || fail "solve --engine rounds exited non-zero"
+[ -s "$work/rounds.txt" ] || fail "rounds solve produced an empty list"
+grep -q "rounds engine" "$work/rounds.log" \
+    || fail "rounds --stats printed no rounds-engine counters"
+grep -q "final frontier 0" "$work/rounds.log" \
+    || fail "rounds --stats reported a non-empty final frontier"
+# Determinism contract: the set AND the algorithmic transcript lines
+# (set sizes, stage counts, rounds counters -- everything but wall time
+# and geometry-scaled IO counters) are invariant across every
+# shard/thread geometry (min-id rounds is a pure function of the graph,
+# unlike the swap stage it can feed).
+algo_lines() {
+  grep -E "independent set:|stage :|degree_sorted=|rounds engine" "$1"
+}
+algo_lines "$work/rounds.log" > "$work/rounds.norm"
+for shards in 1 3; do
+  for threads in 1 2; do
+    "$CLI" solve "$work/g.sadj" --engine rounds --algo greedy \
+        --shards "$shards" --threads "$threads" --stats \
+        --out "$work/rounds_g.txt" > "$work/rounds_g.log" \
+        || fail "rounds solve exited non-zero ($shards/$threads)"
+    cmp -s "$work/rounds_g.txt" "$work/rounds.txt" \
+        || fail "rounds set differs at $shards shards / $threads threads"
+    algo_lines "$work/rounds_g.log" > "$work/rounds_g.norm"
+    cmp -s "$work/rounds_g.norm" "$work/rounds.norm" \
+        || fail "rounds transcript differs at $shards shards / $threads threads"
+  done
+done
+# The full pipeline (rounds seeding the two-k swap) verifies too.
+"$CLI" solve "$work/g.sadj" --engine rounds --algo twok --shards 4 \
+    --threads 2 --verify >/dev/null \
+    || fail "rounds + twok pipeline failed --verify"
+
 # --- streaming edge updates (shard -> stream -> compact -> solve) ----------
 cat > "$work/updates.txt" <<'EOF'
 # mixed insert/delete stream; ids are valid for the 2000-vertex graph

@@ -106,9 +106,9 @@ void PrintUsage(std::FILE* to) {
       "  shard    <graph.adj> <graph.sadjs> [--shards N]\n"
       "  stats    <graph.adj>\n"
       "  bound    <graph.adj>\n"
-      "  solve    <graph.adj|graph.sadjs> [--algo baseline|greedy|onek|twok] "
-      "[--rounds R] [--shards N] [--threads T] [--out set.txt] [--verify] "
-      "[--stats]\n"
+      "  solve    <graph.adj|graph.sadjs> [--engine greedy|rounds] "
+      "[--algo baseline|greedy|onek|twok] [--rounds R] [--shards N] "
+      "[--threads T] [--out set.txt] [--verify] [--stats]\n"
       "  cover    <graph.adj> [--out cover.txt]\n"
       "  color    <graph.sadj> [--mis-rounds R]\n"
       "  update   <graph.adj|graph.sadjs> --stream <updates.txt> "
@@ -364,6 +364,19 @@ int CmdSolve(const Args& args) {
   } else {
     return Usage();
   }
+  // --engine picks the initial-set engine; --algo keeps selecting the
+  // swap stage (and, for the greedy engine, GREEDY vs BASELINE order).
+  const std::string engine = args.Get("engine", "greedy");
+  if (engine == "rounds") {
+    opts.pipeline.engine = SolveEngine::kRounds;
+    // Min-id rounds are record-order-free: never sort a monolithic
+    // input, never demand (or warn about) a sorted manifest.
+    opts.degree_sort = false;
+  } else if (engine != "greedy") {
+    std::fprintf(stderr, "error: unknown --engine '%s' (greedy|rounds)\n",
+                 engine.c_str());
+    return 1;
+  }
   opts.max_swap_rounds =
       static_cast<uint32_t>(std::atoi(args.Get("rounds", "0").c_str()));
   if (!ParseCount(args.Get("shards", "0"), 0, kMaxAdjacencyShards,
@@ -397,12 +410,15 @@ int CmdSolve(const Args& args) {
                  ? solver.SolveShardedFile(args.positional[0], &res)
                  : solver.SolveFile(args.positional[0], &res);
   if (!s.ok()) return Fail(s);
+  const bool rounds_engine = opts.pipeline.engine == SolveEngine::kRounds;
+  const AlgoResult& first_stage = rounds_engine ? res.rounds : res.greedy;
   std::printf("independent set: %llu vertices\n",
               static_cast<unsigned long long>(res.set_size));
-  std::printf("  greedy stage : %llu, swaps added %llu in %llu rounds\n",
-              static_cast<unsigned long long>(res.greedy.set_size),
+  std::printf("  %s stage : %llu, swaps added %llu in %llu rounds\n",
+              rounds_engine ? "rounds" : "greedy",
+              static_cast<unsigned long long>(first_stage.set_size),
               static_cast<unsigned long long>(res.set_size -
-                                              res.greedy.set_size),
+                                              first_stage.set_size),
               static_cast<unsigned long long>(res.swap.rounds));
   std::printf("  time %.2fs, peak memory %s, %llu scans, %s read\n",
               res.seconds,
@@ -418,13 +434,29 @@ int CmdSolve(const Args& args) {
     // Whether the consumed records were degree-sorted (GREEDY order) --
     // false on BASELINE runs and on manifests whose flag was cleared.
     std::printf("  degree_sorted=%s\n", res.degree_sorted ? "true" : "false");
+    if (rounds_engine) {
+      // Every counter here is a pure function of the graph, so the line
+      // is identical at every shard/thread count (the smoke test holds
+      // it to that). The solve pipeline never caps engine rounds, so
+      // final frontier printing anything but 0 means the run is broken.
+      const uint64_t final_frontier =
+          res.rounds.round_stats.empty()
+              ? 0
+              : res.rounds.round_stats.back().frontier_after;
+      std::printf("  rounds engine  : %llu rounds, %llu winners, "
+                  "final frontier %llu\n",
+                  static_cast<unsigned long long>(res.rounds.rounds),
+                  static_cast<unsigned long long>(res.rounds.set_size),
+                  static_cast<unsigned long long>(final_frontier));
+    }
     // Shard-decode counters, all zero on the unsharded single-file path.
-    // records_decoded spans EVERY shard scan (the greedy cursor pass plus
-    // each swap round's rescans); the block-ring line covers only the
-    // cursor-driven stages, which is why records per block don't divide.
+    // records_decoded spans EVERY shard scan (the initial engine's passes
+    // plus each swap round's rescans); the block-ring line covers only
+    // the cursor-driven stages, which is why records per block don't
+    // divide.
     const double decode_seconds =
-        res.greedy.seconds + res.swap.seconds > 0.0
-            ? res.greedy.seconds + res.swap.seconds
+        res.greedy.seconds + res.rounds.seconds + res.swap.seconds > 0.0
+            ? res.greedy.seconds + res.rounds.seconds + res.swap.seconds
             : res.seconds;
     const double records_per_sec =
         decode_seconds > 0.0
