@@ -37,6 +37,8 @@
 #include "graph/graph_io.h"
 #include "graph/record_block.h"
 #include "graph/sharded_adjacency_file.h"
+#include "io/env.h"
+#include "io/file.h"
 #include "io/scratch.h"
 #include "util/thread_pool.h"
 
@@ -86,6 +88,7 @@ void FoldRecord(VertexId id, const VertexId* begin, const VertexId* end,
 
 struct BlockDecodeEnv {
   BlockDecodeEnv() {
+    bench::RequireDefaultIoEnv();
     SEMIS_BENCH_CHECK_OK(ScratchDir::Create("semis-blockbench", &scratch));
     Graph graph = GeneratePlrg(
         PlrgSpec::ForVerticesAndAvgDegree(BenchVertexCount(), 8.0), 987);
@@ -112,9 +115,10 @@ struct BlockDecodeEnv {
                  &reference_checksum);
     }
     std::printf("# bench_block_decode: %llu vertices, %llu directed edges, "
-                "%u shards\n",
+                "%u shards, io seam '%s'\n",
                 static_cast<unsigned long long>(num_vertices),
-                static_cast<unsigned long long>(directed_edges), kNumShards);
+                static_cast<unsigned long long>(directed_edges), kNumShards,
+                GetFileSystem()->Name());
   }
 
   ScratchDir scratch;
@@ -320,6 +324,50 @@ void BM_BlockAppendSteadyState(benchmark::State& state) {
   state.counters["allocs_per_record"] = 0.0;
 }
 BENCHMARK(BM_BlockAppendSteadyState)->Unit(benchmark::kMicrosecond);
+
+// The I/O seam in isolation (ISSUE 10): streaming a shard through
+// SequentialFileReader -- now one virtual FileSystem dispatch per buffer
+// fill -- must stay allocation-free in steady state. The seam may cost a
+// branch and an indirect call, never a heap allocation; the assertion
+// runs inside the timing loop like BM_BlockAppendSteadyState above.
+void BM_SeamReadSteadyState(benchmark::State& state) {
+  BlockDecodeEnv& env = Env();
+  const std::string shard0 = env.manifest + ".shard0";
+  std::vector<char> chunk(64 * 1024);
+  uint64_t total_bytes = 0;
+  for (auto _ : state) {
+    SequentialFileReader reader;
+    Status s = reader.Open(shard0);
+    uint64_t fold = 0;
+    if (s.ok()) {
+      const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+      size_t got = 0;
+      do {
+        s = reader.Read(chunk.data(), chunk.size(), &got);
+        if (got > 0) {
+          total_bytes += got;
+          fold += static_cast<unsigned char>(chunk[got - 1]);
+        }
+      } while (s.ok() && got == chunk.size());
+      const uint64_t allocs =
+          g_allocations.load(std::memory_order_relaxed) - before;
+      if (s.ok() && allocs != 0) {
+        state.SkipWithError("steady-state seam read allocated");
+        break;
+      }
+      Status close = reader.Close();
+      if (s.ok()) s = close;
+    }
+    benchmark::DoNotOptimize(fold);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(total_bytes));
+  state.counters["allocs_per_read"] = 0.0;
+}
+BENCHMARK(BM_SeamReadSteadyState)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace semis

@@ -15,6 +15,7 @@
 #include "gen/datasets.h"
 #include "graph/graph.h"
 #include "graph/graph_io.h"
+#include "io/env.h"
 #include "util/status.h"
 
 namespace semis {
@@ -27,6 +28,25 @@ inline void CheckOk(const Status& status, const char* what) {
   if (!status.ok()) {
     std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
                  status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Benchmarks must measure the real posix I/O seam. With a
+/// fault-injection FileSystem installed (or SEMIS_FAULT_SPEC armed, which
+/// installs one lazily at the first I/O), every throughput and allocation
+/// number is garbage -- crash loudly instead of timing a lie.
+inline void RequireDefaultIoEnv() {
+  if (std::getenv("SEMIS_FAULT_SPEC") != nullptr) {
+    std::fprintf(stderr,
+                 "bench refuses to run with SEMIS_FAULT_SPEC set: fault "
+                 "injection invalidates every measurement\n");
+    std::abort();
+  }
+  if (GetFileSystem() != PosixFileSystem()) {
+    std::fprintf(stderr,
+                 "bench requires the default posix FileSystem, got '%s'\n",
+                 GetFileSystem()->Name());
     std::abort();
   }
 }

@@ -14,12 +14,22 @@
 // measured instance's set must match it byte for byte after every repair
 // -- the executor's contract that thread count never changes the result,
 // with the 1-thread path being the sequential reference.
+//
+// All I/O flows through the default (posix) FileSystem seam of io/env.h;
+// the fixture aborts if a fault-injection env is armed, and
+// BM_SeamAppendSteadyState asserts in-loop that steady-state writes
+// through the seam allocate nothing. Allocation counts come from global
+// operator new/delete overrides local to this binary, as in
+// bench_block_decode.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -29,9 +39,30 @@
 #include "graph/degree_sort.h"
 #include "graph/graph_io.h"
 #include "graph/sharded_adjacency_file.h"
+#include "io/env.h"
+#include "io/file.h"
 #include "io/scratch.h"
 #include "util/bit_vector.h"
 #include "util/random.h"
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
 
 namespace semis {
 namespace {
@@ -51,6 +82,7 @@ constexpr uint32_t kNumShards = 16;
 
 struct StreamEnv {
   StreamEnv() {
+    bench::RequireDefaultIoEnv();
     SEMIS_BENCH_CHECK_OK(ScratchDir::Create("semis-streambench", &scratch));
     Graph graph = GeneratePlrg(
         PlrgSpec::ForVerticesAndAvgDegree(BenchVertexCount(), 8.0), 777);
@@ -63,10 +95,10 @@ struct StreamEnv {
                                          DegreeSortOptions{}));
     std::printf(
         "# bench_incremental_stream: %llu vertices, %llu directed edges, "
-        "%u shards, %u hardware threads\n",
+        "%u shards, %u hardware threads, io seam '%s'\n",
         static_cast<unsigned long long>(num_vertices),
         static_cast<unsigned long long>(directed_edges), kNumShards,
-        std::thread::hardware_concurrency());
+        std::thread::hardware_concurrency(), GetFileSystem()->Name());
   }
 
   // Fresh sharded copy + initial greedy set for one benchmark run
@@ -158,12 +190,15 @@ void BM_StreamApplyRepair(benchmark::State& state) {
   Random rng(2026);
   std::vector<std::pair<VertexId, VertexId>> live;
   std::vector<EdgeUpdate> updates;
+  uint64_t allocs = 0;
   for (auto _ : state) {
     state.PauseTiming();
     MakeBatch(&rng, env.num_vertices, &live, &updates, batch);
     state.ResumeTiming();
+    const uint64_t before = g_allocations.load(std::memory_order_relaxed);
     Status s = mis->ApplyBatch(updates);
     if (s.ok()) s = mis->Repair();
+    allocs += g_allocations.load(std::memory_order_relaxed) - before;
     state.PauseTiming();
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());
@@ -198,6 +233,10 @@ void BM_StreamApplyRepair(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
   state.counters["threads"] = threads;
   state.counters["delta_entries"] = static_cast<double>(batch);
+  const double updates_done = static_cast<double>(state.iterations()) *
+                              static_cast<double>(batch);
+  state.counters["allocs_per_update"] =
+      updates_done > 0 ? static_cast<double>(allocs) / updates_done : 0.0;
   const StreamingMisStats& st = mis->stats();
   if (st.repair_passes > 0) {
     state.counters["repair_ms_per_pass"] =
@@ -241,6 +280,47 @@ BENCHMARK(BM_FromScratchGreedy)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// The write side of the I/O seam in isolation (ISSUE 10): steady-state
+// appends through SequentialFileWriter -- buffered memcpy plus a
+// FileSystem write per buffer fill -- must allocate nothing once the
+// writer is open. The assertion runs inside the timing loop, so a heap
+// allocation smuggled into the seam's hot path fails the nightly gate.
+// Each iteration rewrites the same scratch file (O_TRUNC on open), so
+// disk usage stays bounded no matter how many iterations run.
+void BM_SeamAppendSteadyState(benchmark::State& state) {
+  StreamEnv& env = Env();
+  const std::string path = env.scratch.NewFilePath("seam-append.bin");
+  constexpr size_t kAppends = 256;
+  std::vector<char> payload(4096, 'x');
+  uint64_t total_bytes = 0;
+  for (auto _ : state) {
+    SequentialFileWriter writer;
+    Status s = writer.Open(path);
+    if (s.ok()) {
+      const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+      for (size_t i = 0; s.ok() && i < kAppends; ++i) {
+        s = writer.Append(payload.data(), payload.size());
+      }
+      const uint64_t allocs =
+          g_allocations.load(std::memory_order_relaxed) - before;
+      if (s.ok() && allocs != 0) {
+        state.SkipWithError("steady-state seam append allocated");
+        break;
+      }
+      Status close = writer.Close();
+      if (s.ok()) s = close;
+      total_bytes += kAppends * payload.size();
+    }
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(total_bytes));
+  state.counters["allocs_per_append"] = 0.0;
+}
+BENCHMARK(BM_SeamAppendSteadyState)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace semis

@@ -311,7 +311,27 @@ void MisEngine::Install(EpochSnapshotRef snapshot) {
   current_ = std::move(snapshot);
 }
 
+Status MisEngine::NoteMutationResult(Status s) {
+  if (!s.ok() && (s.IsIOError() || s.IsCorruption())) {
+    degraded_ = s;
+  }
+  return s;
+}
+
+Status MisEngine::GuardMutable(const char* verb) const {
+  if (degraded_.ok()) return Status::OK();
+  return Status::FailedPrecondition(
+      std::string(verb) +
+      " rejected: engine is read-only after a storage failure (" +
+      degraded_.ToString() + ")");
+}
+
 Status MisEngine::Prepare() {
+  SEMIS_RETURN_IF_ERROR(GuardMutable("Prepare"));
+  return NoteMutationResult(PrepareInner());
+}
+
+Status MisEngine::PrepareInner() {
   if (!open_) {
     return Status::InvalidArgument("engine is not open");
   }
@@ -347,7 +367,7 @@ Status MisEngine::Prepare() {
 
 Status MisEngine::ApplyBatch(const std::vector<EdgeUpdate>& updates) {
   SEMIS_RETURN_IF_ERROR(Prepare());
-  SEMIS_RETURN_IF_ERROR(mutant_->ApplyBatch(updates));
+  SEMIS_RETURN_IF_ERROR(NoteMutationResult(mutant_->ApplyBatch(updates)));
   pending_batches_ += 1;
   pending_updates_ += updates.size();
   dirty_ = true;
@@ -356,7 +376,7 @@ Status MisEngine::ApplyBatch(const std::vector<EdgeUpdate>& updates) {
 
 Status MisEngine::Repair() {
   SEMIS_RETURN_IF_ERROR(Prepare());
-  SEMIS_RETURN_IF_ERROR(mutant_->Repair());
+  SEMIS_RETURN_IF_ERROR(NoteMutationResult(mutant_->Repair()));
   dirty_ = true;
   return Status::OK();
 }
@@ -365,17 +385,20 @@ Status MisEngine::Compact(bool force) {
   SEMIS_RETURN_IF_ERROR(Prepare());
   // Storage-only: folding the delta never changes the effective graph or
   // the membership, so the published epoch stays truthful.
-  return mutant_->Compact(force);
+  return NoteMutationResult(mutant_->Compact(force));
 }
 
 Status MisEngine::Resort() {
   SEMIS_RETURN_IF_ERROR(Prepare());
   // Storage-only like Compact: records move, membership does not.
-  return mutant_->Resort();
+  return NoteMutationResult(mutant_->Resort());
 }
 
 EpochSnapshotRef MisEngine::Publish() {
   if (!open_) return nullptr;
+  // Read-only: the successor state may hold a half-applied batch, so it
+  // must never become an epoch. Keep serving the last good one.
+  if (!degraded_.ok()) return Snapshot();
   if (!dirty_ || mutant_ == nullptr) return Snapshot();
   const StreamingMisStats& st = mutant_->stats();
   EpochStats stats;
@@ -407,6 +430,7 @@ Status MisEngine::Close() {
   pending_batches_ = 0;
   pending_updates_ = 0;
   dirty_ = false;
+  degraded_ = Status::OK();  // a reopened engine starts healthy
   mark_ = PublishedMark{};
   work_path_.clear();
   manifest_path_.clear();

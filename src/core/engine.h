@@ -257,6 +257,18 @@ class MisEngine {
   /// how stale the served epoch is.
   uint64_t staleness() const { return pending_updates_; }
 
+  /// True when a failed mutation commit latched the engine read-only:
+  /// the store (or the private successor state) is suspect, so every
+  /// later mutating call returns FailedPrecondition and Publish()
+  /// returns the current epoch unchanged, while Snapshot() keeps
+  /// serving the last published epoch. Sticky until Close(). Part of
+  /// the mutator surface (call from the externally-serialized mutating
+  /// thread, like the mutating calls themselves).
+  bool read_only() const { return !degraded_.ok(); }
+
+  /// The storage failure that tripped read-only mode (OK when healthy).
+  const Status& degraded_reason() const { return degraded_; }
+
   /// What the open-time solve produced (Solver's result object).
   const SolveResult& open_result() const { return open_result_; }
 
@@ -279,6 +291,15 @@ class MisEngine {
  private:
   // Lazily creates the intermediate-artifact directory.
   Status IntermediateDir(std::string* dir);
+  // Prepare() minus the degradation wrapping.
+  Status PrepareInner() EXCLUDES(publish_mu_);
+  // Latches read-only mode when `s` is a storage failure (IOError or
+  // Corruption: the store and/or the successor state are suspect).
+  // InvalidArgument does NOT trip the latch -- a malformed request
+  // leaves the store untouched. Returns `s` for propagation.
+  Status NoteMutationResult(Status s);
+  // FailedPrecondition naming `verb` when the engine is read-only.
+  Status GuardMutable(const char* verb) const;
   // The deduplicated shard pipeline shared by every sharded open: the
   // configured engine (shard-pipelined greedy or min-id rounds) seeded
   // into the parallel swap executor. `require_degree_sorted` gates the
@@ -322,6 +343,8 @@ class MisEngine {
   bool dirty_ = false;
   PublishedMark mark_;
   uint64_t epoch_ = 0;
+  // OK while healthy; the tripping failure once read-only (sticky).
+  Status degraded_;
   // Guards only `current_`: held for the pointer copy in Snapshot() and
   // the pointer swap in Install(), never across I/O or compute. That is
   // the whole RCU rule, and the EXCLUDES(publish_mu_) contract on every

@@ -1,7 +1,5 @@
 #include "graph/sharded_adjacency_file.h"
 
-#include <cstdio>
-
 #include "graph/shard_store.h"
 
 namespace semis {
@@ -109,10 +107,7 @@ Status WriteShardedAdjacencyManifest(const std::string& path,
     SEMIS_RETURN_IF_ERROR(writer.AppendU64(s.num_directed_edges));
   }
   SEMIS_RETURN_IF_ERROR(writer.Close());
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("cannot move shard manifest into place at '" +
-                           path + "'");
-  }
+  SEMIS_RETURN_IF_ERROR(RenameFile(tmp, path));
   return Status::OK();
 }
 

@@ -1,7 +1,5 @@
 #include "io/edge_delta_file.h"
 
-#include <cstdio>
-
 #include "graph/sharded_adjacency_file.h"
 
 namespace semis {
@@ -107,10 +105,7 @@ Status WriteEdgeDeltaManifest(const std::string& path,
     SEMIS_RETURN_IF_ERROR(writer.AppendU64(count));
   }
   SEMIS_RETURN_IF_ERROR(writer.Close());
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("cannot move edge-delta manifest into place at '" +
-                           path + "'");
-  }
+  SEMIS_RETURN_IF_ERROR(RenameFile(tmp, path));
   return Status::OK();
 }
 

@@ -92,7 +92,12 @@ Status WriteEpochRootPointer(const std::string& root_path,
     SEMIS_RETURN_IF_ERROR(writer.Close());
   }
   SEMIS_CRASH_POINT("epoch-root.tmp-durable");
-  SEMIS_RETURN_IF_ERROR(RenameFile(tmp, root_path));
+  // The root-pointer rename is the commit point of the whole epoch
+  // protocol and a sound retry site: rename(2) is atomic, so a transient
+  // failure leaves either the old root or the new one, never a mixture --
+  // re-issuing it cannot tear anything.
+  SEMIS_RETURN_IF_ERROR(
+      RetryIo(stats, [&] { return RenameFile(tmp, root_path); }));
   SEMIS_CRASH_POINT("epoch-root.renamed");
   SEMIS_RETURN_IF_ERROR(SyncParentDirectory(root_path));
   SEMIS_CRASH_POINT("epoch-root.dir-synced");

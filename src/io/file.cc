@@ -1,60 +1,49 @@
 #include "io/file.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstdio>
 #include <cstring>
+#include <utility>
+
+#include "io/env.h"
 
 namespace semis {
-
-namespace {
-std::string ErrnoMessage(const std::string& prefix, const std::string& path) {
-  return prefix + " '" + path + "': " + std::strerror(errno);
-}
-}  // namespace
 
 // ---------------------------------------------------------------- writer --
 
 SequentialFileWriter::SequentialFileWriter(IoStats* stats, size_t buffer_bytes)
     : stats_(stats), buffer_(buffer_bytes) {}
 
-SequentialFileWriter::~SequentialFileWriter() { Close().ok(); }
+SequentialFileWriter::~SequentialFileWriter() { Close().IgnoreError(); }
 
 Status SequentialFileWriter::Open(const std::string& path) {
   if (file_ != nullptr) return Status::InvalidArgument("writer already open");
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    return Status::IOError(ErrnoMessage("cannot create", path));
-  }
+  // Open is a sound retry site: nothing has been written yet, so a second
+  // attempt cannot duplicate or reorder bytes.
+  SEMIS_RETURN_IF_ERROR(RetryIo(
+      stats_, [&] { return GetFileSystem()->NewWritableFile(path, &file_); }));
   path_ = path;
   buffered_ = 0;
   bytes_written_ = 0;
+  deferred_error_ = Status::OK();
   if (stats_ != nullptr) stats_->files_opened++;
   return Status::OK();
 }
 
 Status SequentialFileWriter::OpenAppend(const std::string& path) {
   if (file_ != nullptr) return Status::InvalidArgument("writer already open");
-  struct stat st;
-  if (::stat(path.c_str(), &st) != 0) {
-    return Status::NotFound(ErrnoMessage("cannot append to", path));
-  }
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) {
-    return Status::IOError(ErrnoMessage("cannot open for append", path));
-  }
+  SEMIS_RETURN_IF_ERROR(RetryIo(stats_, [&] {
+    return GetFileSystem()->NewAppendableFile(path, &file_);
+  }));
   path_ = path;
   buffered_ = 0;
   bytes_written_ = 0;
+  deferred_error_ = Status::OK();
   if (stats_ != nullptr) stats_->files_opened++;
   return Status::OK();
 }
 
 Status SequentialFileWriter::Append(const void* data, size_t n) {
   if (file_ == nullptr) return Status::InvalidArgument("writer not open");
+  if (!deferred_error_.ok()) return deferred_error_;
   const char* src = static_cast<const char*>(data);
   bytes_written_ += n;
   if (stats_ != nullptr) {
@@ -78,10 +67,16 @@ Status SequentialFileWriter::Append(const void* data, size_t n) {
 
 Status SequentialFileWriter::Flush() {
   if (file_ == nullptr) return Status::InvalidArgument("writer not open");
+  if (!deferred_error_.ok()) return deferred_error_;
   if (buffered_ > 0) {
-    size_t written = std::fwrite(buffer_.data(), 1, buffered_, file_);
-    if (written != buffered_) {
-      return Status::IOError(ErrnoMessage("short write to", path_));
+    Status s = file_->Write(buffer_.data(), buffered_);
+    if (!s.ok()) {
+      // Poison the writer: the kernel may have accepted part of the
+      // buffer, so re-flushing would duplicate bytes. The error (which
+      // carries strerror(errno) -- e.g. "No space left on device" -- from
+      // the FileSystem layer) is what every later call reports.
+      deferred_error_ = s;
+      return s;
     }
     buffered_ = 0;
   }
@@ -90,22 +85,23 @@ Status SequentialFileWriter::Flush() {
 
 Status SequentialFileWriter::Sync() {
   SEMIS_RETURN_IF_ERROR(Flush());
-  if (std::fflush(file_) != 0) {
-    return Status::IOError(ErrnoMessage("fflush failed for", path_));
+  // fsync is a sound retry site: it transfers no new bytes, only asks the
+  // kernel again for durability of what was already written.
+  Status s = RetryIo(stats_, [&] { return file_->Sync(); });
+  if (!s.ok()) {
+    // A failed fsync leaves the page-cache state undefined (the kernel
+    // may have dropped the dirty pages): poison the writer.
+    deferred_error_ = s;
   }
-  if (::fsync(::fileno(file_)) != 0) {
-    return Status::IOError(ErrnoMessage("fsync failed for", path_));
-  }
-  return Status::OK();
+  return s;
 }
 
 Status SequentialFileWriter::Close() {
   if (file_ == nullptr) return Status::OK();
-  Status s = Flush();
-  if (std::fclose(file_) != 0 && s.ok()) {
-    s = Status::IOError(ErrnoMessage("close failed for", path_));
-  }
-  file_ = nullptr;
+  Status s = Flush();  // reports the deferred error, never re-writes
+  Status close_status = file_->Close();
+  if (!close_status.ok() && s.ok()) s = close_status;
+  file_.reset();
   return s;
 }
 
@@ -114,17 +110,16 @@ Status SequentialFileWriter::Close() {
 SequentialFileReader::SequentialFileReader(IoStats* stats, size_t buffer_bytes)
     : stats_(stats), buffer_(buffer_bytes) {}
 
-SequentialFileReader::~SequentialFileReader() { Close().ok(); }
+SequentialFileReader::~SequentialFileReader() { Close().IgnoreError(); }
 
 Status SequentialFileReader::Open(const std::string& path) {
   if (file_ != nullptr) return Status::InvalidArgument("reader already open");
-  file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) {
-    return Status::IOError(ErrnoMessage("cannot open", path));
-  }
+  SEMIS_RETURN_IF_ERROR(RetryIo(
+      stats_, [&] { return GetFileSystem()->NewReadableFile(path, &file_); }));
   path_ = path;
   buf_pos_ = buf_len_ = 0;
   hit_eof_ = false;
+  pending_error_ = Status::OK();
   bytes_read_ = 0;
   if (stats_ != nullptr) stats_->files_opened++;
   return Status::OK();
@@ -132,24 +127,39 @@ Status SequentialFileReader::Open(const std::string& path) {
 
 Status SequentialFileReader::FillBuffer() {
   buf_pos_ = 0;
-  buf_len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
-  if (buf_len_ < buffer_.size()) {
-    if (std::ferror(file_)) {
-      return Status::IOError(ErrnoMessage("read failed for", path_));
-    }
-    if (buf_len_ == 0) hit_eof_ = true;
+  buf_len_ = 0;
+  Status s = file_->Read(buffer_.data(), buffer_.size(), &buf_len_);
+  if (!s.ok()) {
+    // Latch: a failed fill must keep failing. Without this, a caller
+    // probing AtEof() after the error would see an empty buffer and
+    // conclude "clean end of file" -- silently truncated data.
+    pending_error_ = s;
+    buf_len_ = 0;
+    return s;
   }
+  // RawFile::Read is short only at end of file.
+  if (buf_len_ < buffer_.size()) hit_eof_ = true;
   return Status::OK();
 }
 
 Status SequentialFileReader::Read(void* out, size_t n, size_t* out_n) {
   if (file_ == nullptr) return Status::InvalidArgument("reader not open");
+  if (!pending_error_.ok()) {
+    *out_n = 0;
+    return pending_error_;
+  }
   char* dst = static_cast<char*>(out);
   size_t got = 0;
   while (n > 0) {
     if (buf_pos_ == buf_len_) {
       if (hit_eof_) break;
-      SEMIS_RETURN_IF_ERROR(FillBuffer());
+      Status s = FillBuffer();
+      if (!s.ok()) {
+        // Report how many bytes were delivered before the error; the
+        // count must never be stale caller memory.
+        *out_n = got;
+        return s;
+      }
       if (buf_len_ == 0) break;
     }
     size_t avail = buf_len_ - buf_pos_;
@@ -182,81 +192,58 @@ Status SequentialFileReader::ReadExact(void* out, size_t n) {
 
 bool SequentialFileReader::AtEof() {
   if (file_ == nullptr) return true;
+  // An I/O error is not end of file: report "more to read" so the caller's
+  // next Read surfaces the latched error instead of stopping cleanly.
+  if (!pending_error_.ok()) return false;
   if (buf_pos_ < buf_len_) return false;
   if (hit_eof_) return true;
-  // Peek one buffer ahead.
-  Status s = FillBuffer();
-  if (!s.ok()) return true;
+  // Peek one buffer ahead (a failed peek latches pending_error_).
+  if (!FillBuffer().ok()) return false;
   return buf_len_ == 0;
 }
 
 Status SequentialFileReader::Close() {
   if (file_ == nullptr) return Status::OK();
-  Status s = Status::OK();
-  if (std::fclose(file_) != 0) {
-    s = Status::IOError(ErrnoMessage("close failed for", path_));
-  }
-  file_ = nullptr;
+  Status s = std::move(pending_error_);
+  pending_error_ = Status::OK();
+  Status close_status = file_->Close();
+  if (!close_status.ok() && s.ok()) s = close_status;
+  file_.reset();
   return s;
 }
 
 // --------------------------------------------------------------- helpers --
 
 Status GetFileSize(const std::string& path, uint64_t* size) {
-  struct stat st;
-  if (::stat(path.c_str(), &st) != 0) {
-    return Status::NotFound(ErrnoMessage("stat failed for", path));
-  }
-  *size = static_cast<uint64_t>(st.st_size);
-  return Status::OK();
+  return GetFileSystem()->GetFileSize(path, size);
 }
 
 Status RemoveFileIfExists(const std::string& path) {
-  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
-    return Status::IOError(ErrnoMessage("remove failed for", path));
-  }
-  return Status::OK();
+  Status s = GetFileSystem()->RemoveFile(path);
+  if (s.IsNotFound()) return Status::OK();
+  return s;
 }
 
 Status SyncFile(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open to sync", path));
-  Status s = Status::OK();
-  if (::fsync(fd) != 0) s = Status::IOError(ErrnoMessage("fsync failed for", path));
-  ::close(fd);
-  return s;
+  // fsync-by-path retry: re-opening and re-syncing transfers no data.
+  return RetryIo(nullptr,
+                 [&] { return GetFileSystem()->SyncFile(path); });
 }
 
 Status SyncParentDirectory(const std::string& path) {
   size_t slash = path.find_last_of('/');
   std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
   if (dir.empty()) dir = "/";
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open dir", dir));
-  Status s = Status::OK();
-  // Some filesystems refuse fsync on directory fds (EINVAL); the rename
-  // is still atomic there, so only real I/O errors are reported.
-  if (::fsync(fd) != 0 && errno != EINVAL) {
-    s = Status::IOError(ErrnoMessage("fsync failed for dir", dir));
-  }
-  ::close(fd);
-  return s;
+  return RetryIo(nullptr,
+                 [&] { return GetFileSystem()->SyncDirectory(dir); });
 }
 
 Status HardLinkFile(const std::string& src, const std::string& dst) {
-  if (::link(src.c_str(), dst.c_str()) != 0) {
-    return Status::IOError(ErrnoMessage("cannot hard-link to '" + dst + "' from",
-                                        src));
-  }
-  return Status::OK();
+  return GetFileSystem()->HardLinkFile(src, dst);
 }
 
 Status RenameFile(const std::string& from, const std::string& to) {
-  if (std::rename(from.c_str(), to.c_str()) != 0) {
-    return Status::IOError(ErrnoMessage("cannot rename to '" + to + "' from",
-                                        from));
-  }
-  return Status::OK();
+  return GetFileSystem()->RenameFile(from, to);
 }
 
 }  // namespace semis

@@ -2,15 +2,18 @@
 // Buffered sequential file access. This is the only way graph data reaches
 // the algorithms: the API intentionally offers no seek-to-offset read, so
 // core code is structurally unable to perform the random accesses the
-// semi-external model forbids.
+// semi-external model forbids. All bytes and metadata ops route through
+// the process-wide FileSystem seam (io/env.h), so fault-injection tests
+// exercise these exact code paths.
 #ifndef SEMIS_IO_FILE_H_
 #define SEMIS_IO_FILE_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "io/env.h"
 #include "io/io_stats.h"
 #include "util/status.h"
 
@@ -46,14 +49,18 @@ class SequentialFileWriter {
   /// Appends one little-endian u64.
   Status AppendU64(uint64_t v) { return Append(&v, sizeof(v)); }
 
-  /// Flushes the user-space buffer to the OS.
+  /// Flushes the user-space buffer to the OS. A failed flush poisons the
+  /// writer: the error (with its errno) is latched, and every later
+  /// Append/Flush/Sync/Close reports it instead of retrying the write --
+  /// re-flushing a partially-accepted buffer would duplicate bytes.
   Status Flush();
 
   /// Flushes and fsync()s: on return the bytes written so far are durable
   /// (modulo the containing directory entry -- see SyncParentDirectory).
   Status Sync();
 
-  /// Flushes and closes. Safe to call twice.
+  /// Flushes and closes. Safe to call twice. After a failed flush the
+  /// original error is returned (never masked by a later close result).
   Status Close();
 
   /// Bytes appended so far (including buffered, not yet flushed bytes).
@@ -69,7 +76,9 @@ class SequentialFileWriter {
   IoStats* stats_;
   std::vector<char> buffer_;
   size_t buffered_ = 0;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<RawFile> file_;
+  // First write/sync failure; sticky until Close (see Flush()).
+  Status deferred_error_;
   std::string path_;
   uint64_t bytes_written_ = 0;
 };
@@ -103,10 +112,14 @@ class SequentialFileReader {
   /// Reads one little-endian u64.
   Status ReadU64(uint64_t* v) { return ReadExact(v, sizeof(*v)); }
 
-  /// True when all bytes have been consumed.
+  /// True when all bytes have been consumed. A read error is NOT end of
+  /// file: after one, AtEof() returns false and the next Read/ReadExact/
+  /// Close reports the latched error -- a mid-file I/O error must never
+  /// be mistaken for clean truncation.
   bool AtEof();
 
-  /// Closes the file. Safe to call twice.
+  /// Closes the file. Safe to call twice. Reports a read error latched
+  /// by an earlier fill (see AtEof()) if one is still pending.
   Status Close();
 
   /// Bytes consumed so far.
@@ -123,7 +136,9 @@ class SequentialFileReader {
   size_t buf_pos_ = 0;
   size_t buf_len_ = 0;
   bool hit_eof_ = false;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<RawFile> file_;
+  // First fill failure; sticky so AtEof() cannot read an error as EOF.
+  Status pending_error_;
   std::string path_;
   uint64_t bytes_read_ = 0;
 };

@@ -21,6 +21,11 @@ struct IoStats {
   uint64_t read_calls = 0;
   uint64_t write_calls = 0;
   uint64_t files_opened = 0;
+  /// Transient I/O failures absorbed by a RetryPolicy (io/env.h): each
+  /// count is one extra attempt at a sound retry site (open, fsync,
+  /// dir-fsync, root-pointer rename). Nonzero means the storage layer is
+  /// degrading even though every operation eventually succeeded.
+  uint64_t io_retries = 0;
   /// Number of full sequential scans of a graph file that were started.
   uint64_t sequential_scans = 0;
   /// Number of external-sort merge passes executed.
@@ -54,6 +59,7 @@ struct IoStats {
     read_calls += other.read_calls;
     write_calls += other.write_calls;
     files_opened += other.files_opened;
+    io_retries += other.io_retries;
     sequential_scans += other.sequential_scans;
     sort_passes += other.sort_passes;
     records_decoded += other.records_decoded;

@@ -1,8 +1,9 @@
 #include "io/scratch.h"
 
 #include <cstdlib>
-#include <filesystem>
 #include <utility>
+
+#include "io/env.h"
 
 namespace semis {
 
@@ -33,14 +34,11 @@ Status ScratchDir::Create(const std::string& prefix, ScratchDir* out) {
   while (base.size() > 1 && base.back() == '/') base.pop_back();
   std::string tmpl =
       base + (base.back() == '/' ? "" : "/") + prefix + ".XXXXXX";
-  // mkdtemp mutates its argument in place.
-  std::string buf = tmpl;
-  if (::mkdtemp(buf.data()) == nullptr) {
-    return Status::IOError("mkdtemp failed for template " + tmpl);
-  }
+  std::string created;
+  SEMIS_RETURN_IF_ERROR(GetFileSystem()->CreateTempDir(tmpl, &created));
   // Replacing an existing scratch dir: best effort, the fresh dir wins.
   out->Remove().IgnoreError();
-  out->path_ = buf;
+  out->path_ = std::move(created);
   out->counter_ = 0;
   return Status::OK();
 }
@@ -53,13 +51,7 @@ Status ScratchDir::Remove() {
   if (path_.empty()) return Status::OK();
   std::string path = std::move(path_);
   path_.clear();
-  std::error_code ec;  // error surfaces as a Status; never throws
-  std::filesystem::remove_all(path, ec);
-  if (ec) {
-    return Status::IOError("failed to remove scratch dir " + path + ": " +
-                           ec.message());
-  }
-  return Status::OK();
+  return GetFileSystem()->RemoveTree(path);
 }
 
 }  // namespace semis

@@ -24,6 +24,9 @@ std::string Status::ToString() const {
     case Code::kNotSupported:
       name = "NotSupported";
       break;
+    case Code::kFailedPrecondition:
+      name = "FailedPrecondition";
+      break;
   }
   std::string out = name;
   if (!msg_.empty()) {

@@ -29,6 +29,7 @@ class [[nodiscard]] Status {
     kCorruption,
     kNotFound,
     kNotSupported,
+    kFailedPrecondition,
   };
 
   /// Constructs an OK status.
@@ -40,9 +41,11 @@ class [[nodiscard]] Status {
   static Status InvalidArgument(std::string msg) {
     return Status(Code::kInvalidArgument, std::move(msg));
   }
-  /// Returns an IOError status with message `msg`.
-  static Status IOError(std::string msg) {
-    return Status(Code::kIOError, std::move(msg));
+  /// Returns an IOError status with message `msg`. `sys_errno` optionally
+  /// carries the originating errno value so retry policies can classify
+  /// the failure as transient or permanent (0 = unknown/none).
+  static Status IOError(std::string msg, int sys_errno = 0) {
+    return Status(Code::kIOError, std::move(msg), sys_errno);
   }
   /// Returns a Corruption status with message `msg`.
   static Status Corruption(std::string msg) {
@@ -56,6 +59,13 @@ class [[nodiscard]] Status {
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
   }
+  /// Returns a FailedPrecondition status with message `msg`: the operation
+  /// was rejected because the object is in a state that forbids it (e.g. a
+  /// degraded read-only engine), not because the request itself is
+  /// malformed.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == Code::kOk; }
@@ -67,9 +77,16 @@ class [[nodiscard]] Status {
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   /// True iff this is a NotFound error.
   bool IsNotFound() const { return code_ == Code::kNotFound; }
+  /// True iff this is a FailedPrecondition error.
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
 
   /// Error category of this status.
   Code code() const { return code_; }
+  /// The errno captured at the failing syscall, or 0 when unknown (only
+  /// ever nonzero on IOError). Used by RetryPolicy classification.
+  int sys_errno() const { return sys_errno_; }
   /// Human-readable message ("" when OK).
   const std::string& message() const { return msg_; }
   /// Renders "OK" or "<category>: <message>" for logs and test output.
@@ -83,9 +100,11 @@ class [[nodiscard]] Status {
   void IgnoreError() const {}
 
  private:
-  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+  Status(Code code, std::string msg, int sys_errno = 0)
+      : code_(code), sys_errno_(sys_errno), msg_(std::move(msg)) {}
 
   Code code_;
+  int sys_errno_ = 0;
   std::string msg_;
 };
 

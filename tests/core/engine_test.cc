@@ -33,6 +33,7 @@
 #include "gen/plrg.h"
 #include "graph/graph_io.h"
 #include "graph/sharded_adjacency_file.h"
+#include "io/env.h"
 #include "test_util.h"
 
 namespace semis {
@@ -436,6 +437,93 @@ TEST_F(EngineTest, ReaderMutatorStressObservesOnlyPublishedEpochs) {
       EXPECT_EQ(it->second, fp) << "reader " << r << " epoch " << epoch;
     }
   }
+}
+
+// ----------------------------------------------------- degraded serving --
+
+FaultSpec EngineFaultSpec(const std::string& text) {
+  FaultSpec out;
+  Status s = FaultSpec::Parse(text, &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST_F(EngineTest, DegradedModeServesLastEpochAfterStorageFailure) {
+  // An injected storage failure mid-mutation must flip the engine into
+  // sticky read-only: the last published epoch keeps serving, every
+  // mutator reports FailedPrecondition, and Publish never exposes the
+  // half-applied successor.
+  Graph base = GenerateErdosRenyi(60, 140, 47);
+  std::string mono = WriteGraphFile(&scratch_, base);
+  std::string manifest = scratch_.NewFilePath("deg.sadjs");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest, 3));
+  const BitVector initial = RandomMaximalSet(base, 5);
+
+  MisEngine engine(MisEngineOptions{});
+  ASSERT_OK(engine.OpenSharded(manifest, initial));
+  const auto script = MakeScript(/*seed=*/31, base.NumVertices(), 2, 15);
+
+  // One healthy round first: epoch 2 is the last good state.
+  ASSERT_OK(engine.ApplyBatch(script[0]));
+  ASSERT_OK(engine.Repair());
+  EpochSnapshotRef good = engine.Publish();
+  ASSERT_EQ(good->epoch(), 2u);
+  const std::vector<VertexId> good_set = SetToVector(good->set());
+  EXPECT_FALSE(engine.read_only());
+
+  // Fail the batch commit: first write of the next mutation hits ENOSPC
+  // (permanent and sticky, so no retry site can absorb it).
+  Status failed;
+  {
+    FaultInjectionFileSystem fs(PosixFileSystem(),
+                                EngineFaultSpec("write:1:ENOSPC:sticky"));
+    ScopedFileSystem scoped(&fs);
+    failed = engine.ApplyBatch(script[1]);
+  }
+  ASSERT_TRUE(failed.IsIOError()) << failed.ToString();
+
+  // Sticky read-only -- the fault filesystem is long gone, but the engine
+  // cannot know how much of the mutation landed.
+  EXPECT_TRUE(engine.read_only());
+  EXPECT_TRUE(engine.degraded_reason().IsIOError());
+  EXPECT_TRUE(engine.is_open());
+
+  // Reads keep serving the last published epoch, bit for bit.
+  EpochSnapshotRef snap = engine.Snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch(), 2u);
+  EXPECT_EQ(SetToVector(snap->set()), good_set);
+
+  // Every mutator is rejected with FailedPrecondition naming the cause.
+  EXPECT_TRUE(engine.ApplyBatch(script[1]).IsFailedPrecondition());
+  EXPECT_TRUE(engine.Repair().IsFailedPrecondition());
+  EXPECT_TRUE(engine.Compact(/*force=*/true).IsFailedPrecondition());
+  EXPECT_TRUE(engine.Resort().IsFailedPrecondition());
+  EXPECT_TRUE(engine.Prepare().IsFailedPrecondition());
+
+  // Publish must NOT mint an epoch from the half-applied state: it keeps
+  // returning the current one.
+  EXPECT_EQ(engine.Publish()->epoch(), 2u);
+  EXPECT_EQ(SetToVector(engine.Publish()->set()), good_set);
+
+  // Close clears the latch; a fresh open on intact storage is healthy.
+  ASSERT_OK(engine.Close());
+  std::string manifest2 = scratch_.NewFilePath("deg2.sadjs");
+  ASSERT_OK(ShardAdjacencyFile(mono, manifest2, 3));
+  ASSERT_OK(engine.OpenSharded(manifest2, initial));
+  EXPECT_FALSE(engine.read_only());
+  ASSERT_OK(engine.ApplyBatch(script[0]));
+  ASSERT_OK(engine.Repair());
+  EXPECT_EQ(engine.Publish()->epoch(), 2u);
+}
+
+TEST_F(EngineTest, InvalidArgumentDoesNotLatchReadOnly) {
+  // Caller mistakes (here: mutating a closed engine) are not storage
+  // failures -- they must not poison the engine.
+  MisEngine engine(MisEngineOptions{});
+  Status s = engine.ApplyBatch({EdgeUpdate::Insert(0, 1)});
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_FALSE(engine.read_only());
 }
 
 TEST_F(EngineTest, SnapshotDoesNotWaitOnInFlightRepair) {

@@ -5,10 +5,12 @@
 // locks in the rename-over atomicity the commit protocol relies on.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "io/env.h"
 #include "io/epoch_journal.h"
 #include "io/file.h"
 #include "test_util.h"
@@ -152,6 +154,112 @@ TEST_F(EpochJournalTest, ImpossibleEpochPairsAreRejected) {
     EXPECT_TRUE(ReadEpochRootPointer(root, &in).IsCorruption())
         << "current=" << pair[0] << " previous=" << pair[1];
   }
+}
+
+// ------------------------------------------------------ fault injection --
+// The root pointer is the commit point, so its write path gets the full
+// per-op fault matrix: whichever single operation fails, the OLD root must
+// still read back intact -- a faulted commit never publishes a torn or
+// half-new pointer.
+
+FaultSpec JournalSpec(const std::string& text) {
+  FaultSpec out;
+  Status s = FaultSpec::Parse(text, &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST_F(EpochJournalTest, EveryWriteSideFaultLeavesOldRootIntact) {
+  // All of these strike before the rename lands, so the old pointer must
+  // survive byte-for-byte. Permanent errnos so the retry sites cannot
+  // absorb the fault.
+  const char* kSpecs[] = {
+      "open:1:EACCES@.tmp",   // staging-file create
+      "write:1:ENOSPC",       // staging-file payload write
+      "sync:1:EROFS",         // staging-file fsync
+      "rename:1:EACCES",      // the commit rename itself
+  };
+  for (const char* text : kSpecs) {
+    const std::string root = NewPath(std::string("store-") +
+                                     std::to_string(&text - kSpecs));
+    ASSERT_OK(WriteEpochRootPointer(root, {1, 0}));
+    const std::vector<char> before = ReadAllBytes(root);
+
+    FaultInjectionFileSystem fs(PosixFileSystem(), JournalSpec(text));
+    Status s;
+    {
+      ScopedFileSystem scoped(&fs);
+      s = WriteEpochRootPointer(root, {2, 1});
+    }
+    EXPECT_TRUE(s.IsIOError()) << text << ": " << s.ToString();
+    EXPECT_EQ(fs.faults_injected(), 1u) << text;
+
+    EpochRootPointer in;
+    Status read_back = ReadEpochRootPointer(root, &in);
+    ASSERT_TRUE(read_back.ok()) << text << ": " << read_back.ToString();
+    EXPECT_EQ(in.current_epoch, 1u) << text;
+    EXPECT_EQ(in.previous_epoch, 0u) << text;
+    EXPECT_EQ(ReadAllBytes(root), before) << text;
+  }
+}
+
+TEST_F(EpochJournalTest, DirSyncFaultReportsErrorButPointerStaysValid) {
+  // The directory fsync happens AFTER the rename: a fault there must be
+  // reported (durability is not proven), but the pointer on disk is the
+  // fully-renamed new one -- valid either way, never torn.
+  const std::string root = NewPath("store.sadjs");
+  ASSERT_OK(WriteEpochRootPointer(root, {1, 0}));
+  FaultInjectionFileSystem fs(PosixFileSystem(),
+                              JournalSpec("syncdir:1:EROFS:sticky"));
+  Status s;
+  {
+    ScopedFileSystem scoped(&fs);
+    s = WriteEpochRootPointer(root, {2, 1});
+  }
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EpochRootPointer in;
+  ASSERT_OK(ReadEpochRootPointer(root, &in));
+  EXPECT_EQ(in.current_epoch, 2u);
+  EXPECT_EQ(in.previous_epoch, 1u);
+}
+
+TEST_F(EpochJournalTest, TransientRenameFaultIsRetriedAndCommits) {
+  // The commit rename is atomic, so re-issuing it after a transient error
+  // is sound -- and the only rename retry site in the tree.
+  const std::string root = NewPath("store.sadjs");
+  ASSERT_OK(WriteEpochRootPointer(root, {1, 0}));
+  FaultInjectionFileSystem fs(PosixFileSystem(), JournalSpec("rename:1:EIO"));
+  IoStats stats;
+  {
+    ScopedFileSystem scoped(&fs);
+    ASSERT_OK(WriteEpochRootPointer(root, {2, 1}, &stats));
+  }
+  EXPECT_EQ(fs.faults_injected(), 1u);
+  EXPECT_EQ(stats.io_retries, 1u);
+  EpochRootPointer in;
+  ASSERT_OK(ReadEpochRootPointer(root, &in));
+  EXPECT_EQ(in.current_epoch, 2u);
+}
+
+TEST_F(EpochJournalTest, ReadFaultIsIOErrorNotCorruption) {
+  // A failing device on the read side must surface as IOError -- not as
+  // Corruption (the bytes are fine) and never as a bogus epoch number.
+  const std::string root = NewPath("store.sadjs");
+  ASSERT_OK(WriteEpochRootPointer(root, {3, 2}));
+  FaultInjectionFileSystem fs(PosixFileSystem(),
+                              JournalSpec("read:1:EIO:sticky"));
+  EpochRootPointer in;
+  in.current_epoch = 999;
+  Status s;
+  {
+    ScopedFileSystem scoped(&fs);
+    s = ReadEpochRootPointer(root, &in);
+  }
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(in.current_epoch, 999u) << "faulted read must not fill the out";
+  // With the fault gone the same pointer reads back fine.
+  ASSERT_OK(ReadEpochRootPointer(root, &in));
+  EXPECT_EQ(in.current_epoch, 3u);
 }
 
 TEST_F(EpochJournalTest, ProbeFileMagic) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <string>
 #include <vector>
 
+#include "io/env.h"
 #include "test_util.h"
 
 namespace semis {
@@ -13,6 +15,13 @@ namespace {
 using testing_util::ScratchTest;
 
 class FileTest : public ScratchTest {};
+
+FaultSpec MustParseSpec(const std::string& spec) {
+  FaultSpec out;
+  Status s = FaultSpec::Parse(spec, &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
 
 TEST_F(FileTest, WriteReadRoundtrip) {
   std::string path = NewPath("roundtrip");
@@ -137,6 +146,164 @@ TEST_F(FileTest, DoubleOpenRejected) {
   ASSERT_OK(w.Open(path));
   EXPECT_TRUE(w.Open(path).IsInvalidArgument());
   ASSERT_OK(w.Close());
+}
+
+// --------------------------------------------------- error-path contract --
+
+TEST_F(FileTest, MidFileReadErrorIsSurfacedNotTruncated) {
+  // Regression: a read error after the first buffer fill used to be
+  // swallowed -- AtEof() saw an empty buffer and reported a clean end of
+  // file, silently truncating the data. The reader must latch the error,
+  // report "not EOF", and surface it from every later call.
+  std::string path = NewPath("midfile");
+  std::vector<char> data(10000, 'a');
+  {
+    SequentialFileWriter w;
+    ASSERT_OK(w.Open(path));
+    ASSERT_OK(w.Append(data.data(), data.size()));
+    ASSERT_OK(w.Close());
+  }
+  // Reader buffer of 4096: the file takes three fills. Fault fill #2.
+  FaultInjectionFileSystem fs(PosixFileSystem(),
+                              MustParseSpec("read:2:EIO:sticky"));
+  ScopedFileSystem scoped(&fs);
+  SequentialFileReader r(nullptr, /*buffer_bytes=*/4096);
+  ASSERT_OK(r.Open(path));
+  char buf[4096];
+  size_t got = 0;
+  ASSERT_OK(r.Read(buf, sizeof(buf), &got));
+  EXPECT_EQ(got, 4096u);
+
+  Status s = r.Read(buf, sizeof(buf), &got);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(got, 0u);
+  EXPECT_FALSE(r.AtEof()) << "an I/O error must not read as end of file";
+  // The error is sticky: later reads and Close keep reporting it.
+  EXPECT_TRUE(r.Read(buf, sizeof(buf), &got).IsIOError());
+  EXPECT_TRUE(r.Close().IsIOError());
+}
+
+TEST_F(FileTest, AtEofPeekErrorIsLatchedForTheNextRead) {
+  // The failure can also first strike inside AtEof()'s peek: it must
+  // return false and leave the error for the next Read to report.
+  std::string path = NewPath("peek");
+  {
+    SequentialFileWriter w;
+    ASSERT_OK(w.Open(path));
+    ASSERT_OK(w.Append("abc", 3));
+    ASSERT_OK(w.Close());
+  }
+  FaultInjectionFileSystem fs(PosixFileSystem(),
+                              MustParseSpec("read:1:EIO:sticky"));
+  ScopedFileSystem scoped(&fs);
+  SequentialFileReader r;
+  ASSERT_OK(r.Open(path));
+  EXPECT_FALSE(r.AtEof());
+  char buf[4];
+  size_t got = 0;
+  EXPECT_TRUE(r.Read(buf, sizeof(buf), &got).IsIOError());
+}
+
+TEST_F(FileTest, FlushFailureCarriesErrnoAndPoisonsWriter) {
+  // A failed flush must (a) name the errno in the message, (b) poison the
+  // writer so Close() reports the ORIGINAL error rather than masking it
+  // with a second (possibly byte-duplicating) write attempt.
+  FaultInjectionFileSystem fs(PosixFileSystem(),
+                              MustParseSpec("write:1:ENOSPC:sticky"));
+  ScopedFileSystem scoped(&fs);
+  SequentialFileWriter w;
+  ASSERT_OK(w.Open(NewPath("nospace")));
+  ASSERT_OK(w.Append("x", 1));  // buffered; no write yet
+  Status s = w.Flush();
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(s.sys_errno(), ENOSPC);
+
+  // Every later call reports the same latched error...
+  EXPECT_EQ(w.Append("y", 1).ToString(), s.ToString());
+  Status close_status = w.Close();
+  EXPECT_EQ(close_status.ToString(), s.ToString());
+  // ...and exactly one write was attempted: Close did not re-flush.
+  EXPECT_EQ(fs.ops_matched(), 1u);
+}
+
+TEST_F(FileTest, WriteFaultMatrixExactCategories) {
+  // One writer life-cycle op at a time: open / write / sync each fail
+  // independently with IOError carrying the injected errno.
+  struct Case {
+    const char* spec;
+  } kCases[] = {{"open:1:EACCES"}, {"write:1:ENOSPC"}, {"sync:1:EROFS"}};
+  for (const auto& c : kCases) {
+    FaultSpec spec = MustParseSpec(c.spec);
+    FaultInjectionFileSystem fs(PosixFileSystem(), spec);
+    ScopedFileSystem scoped(&fs);
+    SequentialFileWriter w;
+    Status s = w.Open(NewPath(std::string("m-") + IoOpName(spec.op)));
+    if (s.ok()) {
+      s = w.Append("payload", 7);
+      if (s.ok()) s = w.Sync();
+    }
+    EXPECT_TRUE(s.IsIOError()) << c.spec << ": " << s.ToString();
+    EXPECT_EQ(s.sys_errno(), spec.fault_errno) << c.spec;
+    EXPECT_EQ(fs.faults_injected(), 1u) << c.spec;
+  }
+}
+
+TEST_F(FileTest, ReaderOpenFaultMatrix) {
+  std::string path = NewPath("ro");
+  {
+    SequentialFileWriter w;
+    ASSERT_OK(w.Open(path));
+    ASSERT_OK(w.Append("abc", 3));
+    ASSERT_OK(w.Close());
+  }
+  FaultInjectionFileSystem fs(PosixFileSystem(),
+                              MustParseSpec("open:1:EACCES"));
+  ScopedFileSystem scoped(&fs);
+  SequentialFileReader r;
+  Status s = r.Open(path);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(s.sys_errno(), EACCES);
+}
+
+TEST_F(FileTest, HelperFaultMatrix) {
+  // The free helpers (rename / link / remove / stat) route through the
+  // seam too -- each fails cleanly with the injected error.
+  std::string src = NewPath("h-src");
+  {
+    SequentialFileWriter w;
+    ASSERT_OK(w.Open(src));
+    ASSERT_OK(w.Append("x", 1));
+    ASSERT_OK(w.Close());
+  }
+  {
+    FaultInjectionFileSystem fs(PosixFileSystem(),
+                                MustParseSpec("rename:1:EACCES"));
+    ScopedFileSystem scoped(&fs);
+    EXPECT_TRUE(RenameFile(src, NewPath("h-dst")).IsIOError());
+  }
+  {
+    FaultInjectionFileSystem fs(PosixFileSystem(),
+                                MustParseSpec("link:1:EACCES"));
+    ScopedFileSystem scoped(&fs);
+    EXPECT_TRUE(HardLinkFile(src, NewPath("h-lnk")).IsIOError());
+  }
+  {
+    FaultInjectionFileSystem fs(PosixFileSystem(),
+                                MustParseSpec("remove:1:EACCES"));
+    ScopedFileSystem scoped(&fs);
+    EXPECT_TRUE(RemoveFileIfExists(src).IsIOError());
+  }
+  {
+    FaultInjectionFileSystem fs(PosixFileSystem(),
+                                MustParseSpec("stat:1:EACCES"));
+    ScopedFileSystem scoped(&fs);
+    uint64_t size = 0;
+    EXPECT_TRUE(GetFileSize(src, &size).IsIOError());
+  }
+  // After all that, the file is untouched.
+  uint64_t size = 0;
+  ASSERT_OK(GetFileSize(src, &size));
+  EXPECT_EQ(size, 1u);
 }
 
 TEST_F(FileTest, ScratchDirCleansUpOnDestruction) {

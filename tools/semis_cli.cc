@@ -622,6 +622,18 @@ Status ReadSetText(const std::string& path, uint64_t n, BitVector* out) {
   return Status::OK();
 }
 
+// Degraded-store note next to the failure that tripped it: the session
+// is aborting, but the store still serves its last published epoch and
+// `fsck` will confirm it is clean -- worth saying out loud so an
+// operator does not reach for a restore they do not need.
+void NoteEngineDegraded(const MisEngine& engine) {
+  if (!engine.read_only()) return;
+  std::fprintf(stderr,
+               "note: engine degraded to read-only; the last published "
+               "epoch remains valid (%s)\n",
+               engine.degraded_reason().ToString().c_str());
+}
+
 int CmdUpdate(const Args& args) {
   if (args.positional.size() != 1 || !args.Has("stream")) return Usage();
   const std::string input = args.positional[0];
@@ -739,20 +751,32 @@ int CmdUpdate(const Args& args) {
     }
     if (batch_updates.empty()) break;
     s = engine.ApplyBatch(batch_updates);
-    if (!s.ok()) return Fail(s);
+    if (!s.ok()) {
+      NoteEngineDegraded(engine);
+      return Fail(s);
+    }
     s = engine.Repair();
-    if (!s.ok()) return Fail(s);
+    if (!s.ok()) {
+      NoteEngineDegraded(engine);
+      return Fail(s);
+    }
     engine.Publish();
   }
   if (compact) {
     s = engine.Compact(/*force=*/true);
-    if (!s.ok()) return Fail(s);
+    if (!s.ok()) {
+      NoteEngineDegraded(engine);
+      return Fail(s);
+    }
   }
   if (resort) {
     // Covers a flag cleared before this session too, not only by this
     // session's compactions (which auto_resort already handled).
     s = engine.Resort();
-    if (!s.ok()) return Fail(s);
+    if (!s.ok()) {
+      NoteEngineDegraded(engine);
+      return Fail(s);
+    }
   }
   // Surface whatever the last batch (or a replayed overlay) left behind.
   EpochSnapshotRef final_epoch = engine.Publish();
@@ -960,9 +984,24 @@ int CmdEngine(const Args& args) {
       word_end++;
     }
     std::string verb(p, static_cast<size_t>(word_end - p));
+    // A mutating verb that fails on a degraded (read-only) engine does
+    // NOT abort the session: the whole point of degraded mode is that
+    // reads keep working, so the script's queries and publishes run on,
+    // the verb is reported as rejected, and the session exits 3 at the
+    // end. Any other failure is a hard error as before.
+    auto rejected_read_only = [&](const Status& st) {
+      if (!engine.read_only()) return false;
+      std::printf("%s rejected: engine is read-only\n", verb.c_str());
+      std::fprintf(stderr, "note: %s\n", st.ToString().c_str());
+      return true;
+    };
     if (verb == "apply") {
       s = engine.ApplyBatch(queued);
       if (!s.ok()) {
+        if (rejected_read_only(s)) {
+          queued.clear();
+          continue;
+        }
         std::fclose(f);
         return Fail(s);
       }
@@ -973,6 +1012,7 @@ int CmdEngine(const Args& args) {
     } else if (verb == "repair") {
       s = engine.Repair();
       if (!s.ok()) {
+        if (rejected_read_only(s)) continue;
         std::fclose(f);
         return Fail(s);
       }
@@ -980,6 +1020,7 @@ int CmdEngine(const Args& args) {
     } else if (verb == "compact") {
       s = engine.Compact(/*force=*/true);
       if (!s.ok()) {
+        if (rejected_read_only(s)) continue;
         std::fclose(f);
         return Fail(s);
       }
@@ -1031,10 +1072,11 @@ int CmdEngine(const Args& args) {
 
   EpochSnapshotRef final_snap = engine.Snapshot();
   std::printf("session end: epoch %llu, %llu vertices in set, "
-              "staleness %llu\n",
+              "staleness %llu%s\n",
               static_cast<unsigned long long>(final_snap->epoch()),
               static_cast<unsigned long long>(final_snap->set_size()),
-              static_cast<unsigned long long>(engine.staleness()));
+              static_cast<unsigned long long>(engine.staleness()),
+              engine.read_only() ? ", read-only" : "");
   if (args.Has("stats")) {
     std::printf("  degree_sorted=%s\n",
                 engine.open_result().degree_sorted ? "true" : "false");
@@ -1052,6 +1094,11 @@ int CmdEngine(const Args& args) {
     s = WriteSetText(final_snap->set(), args.Get("out"));
     if (!s.ok()) return Fail(s);
     std::printf("  members written to %s\n", args.Get("out").c_str());
+  }
+  if (engine.read_only()) {
+    std::fprintf(stderr, "error: engine degraded to read-only: %s\n",
+                 engine.degraded_reason().ToString().c_str());
+    return 3;  // served to the end, but the session lost its store
   }
   return 0;
 }

@@ -23,6 +23,12 @@ that contract, before they reach a differential test:
                        std::less<T*> in src/core or src/graph.  Pointer
                        values vary across runs (ASLR, allocator state);
                        they must never break ties.
+  raw-io               Direct OS file I/O (fopen/::open/fsync/rename/
+                       unlink/mkdtemp/std::filesystem, ...) anywhere under
+                       src/ except src/io/env.cc and src/io/file.cc.  All
+                       file-system access must route through the FileSystem
+                       seam in io/env.h so fault injection (SEMIS_FAULT_SPEC)
+                       and the retry policy see every operation.
 
 A finding on line N is suppressed by `// semis-lint: allow(<rule>)` on
 line N or line N-1.  Use a suppression only with a justification comment:
@@ -45,13 +51,19 @@ RULES = (
     "raw-random",
     "wall-clock",
     "pointer-tiebreak",
+    "raw-io",
 )
 
-# Rules that only apply inside the deterministic core.  raw-random applies
-# to all of src/ (a seeded run must be reproducible end to end).
+# Rules that only apply inside the deterministic core.  raw-random and
+# raw-io apply to all of src/ (a seeded run must be reproducible end to
+# end, and every file-system call must be fault-injectable).
 CORE_ONLY_RULES = {"unordered-iteration", "wall-clock", "pointer-tiebreak"}
 CORE_DIRS = ("src/core", "src/graph")
 RANDOM_EXEMPT = "src/util/random.h"
+# The posix implementation of the FileSystem seam is the one place raw OS
+# calls are allowed (file.cc is exempt for historical call sites; it is
+# clean today and routes through io/env.h).
+RAW_IO_EXEMPT = ("src/io/env.cc", "src/io/file.cc")
 
 SUPPRESS_RE = re.compile(r"//\s*semis-lint:\s*allow\(([a-z-]+)\)")
 
@@ -71,6 +83,26 @@ WALL_CLOCK_RE = re.compile(
 POINTER_TIEBREAK_RE = re.compile(
     r"\breinterpret_cast\s*<\s*(?:std::)?(?:u?intptr_t|size_t)\s*>"
     r"|\bstd::less\s*<[^<>;]*\*\s*>"
+)
+
+# Unqualified C-library / posix calls.  The lookbehind rejects member calls
+# (`f.open(`, `f->open(`), identifiers that merely end in a name
+# (`Reopen(`), and qualified names (those are matched by RAW_IO_QUAL_RE so
+# wrapper namespaces like `semis::RenameFile` never match).  Case matters:
+# the repo's own seam methods are CamelCase (`Open`, `RenameFile`).
+RAW_IO_CALL_RE = re.compile(
+    r"(?<![A-Za-z0-9_.>:])"
+    r"(?:fopen|fdopen|freopen|open|openat|creat|fsync|fdatasync|"
+    r"rename|renameat|link|linkat|unlink|unlinkat|remove|"
+    r"mkdtemp|mkstemp|mkdir|rmdir)"
+    r"\s*\("
+)
+# `::`-qualified forms (`::open(`, `std::rename(`) plus any use of
+# std::filesystem, which bypasses the seam wholesale.
+RAW_IO_QUAL_RE = re.compile(
+    r"::\s*(?:fopen|open|openat|fsync|fdatasync|rename|link|unlink|"
+    r"remove|mkdtemp|mkstemp)\s*\("
+    r"|::\s*filesystem\b"
 )
 
 
@@ -258,6 +290,14 @@ def lint_file(abs_path, rel_path):
             rel_path, code, "raw-random", RAW_RANDOM_RE,
             "raw randomness source; use the seeded generator in "
             "util/random.h", findings)
+    if rel_path.replace(os.sep, "/") not in RAW_IO_EXEMPT:
+        raw_io_msg = ("direct OS file I/O bypasses the FileSystem seam; "
+                      "route through io/env.h (io/file.h) so fault "
+                      "injection and retries see the operation")
+        check_regex_rule(rel_path, code, "raw-io", RAW_IO_CALL_RE,
+                         raw_io_msg, findings)
+        check_regex_rule(rel_path, code, "raw-io", RAW_IO_QUAL_RE,
+                         raw_io_msg, findings)
 
     return [f for f in findings if f.line not in allowed[f.rule]]
 

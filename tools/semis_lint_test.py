@@ -212,6 +212,72 @@ uint64_t F(double d) { return static_cast<uint64_t>(d); }
         self.assertEqual(self.rules("src/core/foo.cc"), [])
 
 
+class RawIoTest(LintTestBase):
+    def test_fopen_flagged_anywhere_in_src(self):
+        self.write("src/core/foo.cc",
+                   '#include <cstdio>\nvoid F() { fopen("x", "r"); }\n')
+        self.assertEqual(self.rules("src/core/foo.cc"), ["raw-io"])
+
+    def test_qualified_open_and_fsync_flagged(self):
+        self.write("src/graph/foo.cc", """
+#include <fcntl.h>
+#include <unistd.h>
+void F() {
+  int fd = ::open("x", O_RDONLY);
+  ::fsync(fd);
+}
+""")
+        self.assertEqual(self.rules("src/graph/foo.cc"),
+                         ["raw-io", "raw-io"])
+
+    def test_std_rename_and_filesystem_flagged(self):
+        self.write("src/util/foo.cc", """
+#include <cstdio>
+#include <filesystem>
+void F() {
+  std::rename("a", "b");
+  std::filesystem::remove_all("dir");
+}
+""")
+        self.assertEqual(self.rules("src/util/foo.cc"),
+                         ["raw-io", "raw-io"])
+
+    def test_env_cc_exempt(self):
+        self.write("src/io/env.cc",
+                   '#include <cstdio>\nvoid F() { fopen("x", "r"); }\n')
+        self.assertEqual(self.rules("src/io/env.cc"), [])
+
+    def test_seam_wrappers_clean(self):
+        # CamelCase seam methods and namespaced wrappers must not match.
+        self.write("src/core/foo.cc", """
+#include "io/file.h"
+semis::Status F(semis::SequentialFileWriter* w) {
+  auto s = w->Open("x");
+  if (!s.ok()) return s;
+  return semis::RenameFile("a", "b");
+}
+""")
+        self.assertEqual(self.rules("src/core/foo.cc"), [])
+
+    def test_member_open_clean(self):
+        self.write("src/core/foo.cc", """
+#include <fstream>
+void F(std::ifstream& in, std::ifstream* pin) {
+  in.open("x");
+  pin->open("y");
+}
+""")
+        self.assertEqual(self.rules("src/core/foo.cc"), [])
+
+    def test_suppression_applies(self):
+        self.write("src/core/foo.cc", """
+#include <cstdio>
+// semis-lint: allow(raw-io)
+void F() { fopen("x", "r"); }
+""")
+        self.assertEqual(self.rules("src/core/foo.cc"), [])
+
+
 class CommentAndStringStrippingTest(LintTestBase):
     def test_mentions_in_comments_and_strings_clean(self):
         self.write("src/core/foo.cc", """
